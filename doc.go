@@ -1,0 +1,15 @@
+// Package repro is a from-scratch Go reproduction of "Mutation Sampling
+// Technique for the Generation of Structural Test Data" (Scholivé,
+// Beroulle, Robach, Flottes, Rouzeyre — DATE 2005).
+//
+// The library generates validation data for behavioral hardware
+// descriptions by mutation testing, re-uses that data as a free initial
+// test set for gate-level stuck-at faults, and — the paper's contribution
+// — samples the mutant population *test-oriented*: each mutation
+// operator's class is sampled in proportion to its measured stuck-at
+// fault-coverage efficiency (NLFCE) instead of uniformly.
+//
+// See DESIGN.md for the system inventory, EXPERIMENTS.md for
+// paper-vs-measured results, and bench_test.go for the harness that
+// regenerates every table of the paper's evaluation.
+package repro

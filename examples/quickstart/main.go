@@ -1,0 +1,84 @@
+// Quickstart: the full mutation-sampling pipeline on one circuit, end to
+// end — parse, mutate, sample, generate validation data, score it, and
+// re-use it as a structural stuck-at test set.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/circuits"
+	"repro/internal/faultsim"
+	"repro/internal/metrics"
+	"repro/internal/mutation"
+	"repro/internal/mutscore"
+	"repro/internal/sampling"
+	"repro/internal/synth"
+	"repro/internal/tpg"
+)
+
+func main() {
+	// 1. Load a behavioral circuit (the ITC'99 b01 serial-flow comparator
+	//    analog) and synthesize its gate-level netlist.
+	circuit := circuits.MustLoad("b01")
+	nl, err := synth.Synthesize(circuit)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("circuit %s: %v\n", circuit.Name, nl.Stats())
+
+	// 2. Generate the mutant population with all ten operators.
+	mutants := mutation.Generate(circuit)
+	fmt.Printf("mutants: %d total, by operator %v\n",
+		len(mutants), mutation.CountByOperator(mutants))
+
+	// 3. Sample 10% of the mutants (here: classical random sampling; see
+	//    examples/sampling_comparison for the paper's weighted strategy).
+	n := sampling.SampleSize(len(mutants), 0.10)
+	sample := sampling.Random(mutants, n, 42)
+	fmt.Printf("sampled %d mutants\n", len(sample))
+
+	// 4. Generate validation data killing the sampled mutants.
+	tg, err := tpg.MutationTests(circuit, sample, &tpg.Options{Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("validation data: %d cycles, kills %d/%d sampled mutants\n",
+		len(tg.Seq), tg.KilledCount(), len(sample))
+
+	// 5. Mutation score over the FULL population (validation quality).
+	killed, err := mutscore.Kills(circuit, mutants, tg.Seq)
+	if err != nil {
+		log.Fatal(err)
+	}
+	equiv, err := mutscore.EstimateEquivalence(circuit, mutants, nil,
+		&mutscore.EquivalenceOptions{Budget: 1024, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mutation score on all mutants: %.2f%%\n",
+		100*mutscore.Score(killed, equiv))
+
+	// 6. Re-use the same data as a structural stuck-at test set.
+	fsim, err := faultsim.New(nl, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mutRes, err := fsim.Run(tpg.ToPatterns(circuit, tg.Seq))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stuck-at coverage of validation data: %.1f%% of %d collapsed faults\n",
+		100*mutRes.Coverage(), len(mutRes.Faults))
+
+	// 7. Compare against a raw pseudo-random test set (the paper's
+	//    baseline) via the NLFCE metric.
+	randRes, err := fsim.Run(tpg.ToPatterns(circuit, tpg.RawRandomSequence(circuit, 2048, 7)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	eff := metrics.Compare(mutRes.Curve(), randRes.Curve())
+	fmt.Printf("vs pseudo-random: %v\n", eff)
+}

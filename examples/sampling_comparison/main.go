@@ -1,0 +1,54 @@
+// Sampling comparison: regenerates the paper's Table 2 ("Our Testing
+// Strategy Vs Mutant Sampling") — at a fixed 10% mutant budget, compare
+// the test-oriented sampling strategy (per-operator rates proportional to
+// the operators' NLFCE profiles) against classical uniform-random
+// sampling, on both the mutation score over all mutants (validation
+// quality) and NLFCE (structural test quality).
+//
+//	go run ./examples/sampling_comparison [circuits...]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/circuits"
+	"repro/internal/core"
+)
+
+func main() {
+	names := os.Args[1:]
+	if len(names) == 0 {
+		names = circuits.PaperBenchmarks()
+	}
+	var cmps []*core.SamplingComparison
+	for _, name := range names {
+		c, err := circuits.Load(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		flow, err := core.NewFlow(c, core.Config{Seed: 1, SampleFrac: 0.10})
+		if err != nil {
+			log.Fatal(err)
+		}
+		cmp, err := flow.CompareSampling()
+		if err != nil {
+			log.Fatal(err)
+		}
+		cmps = append(cmps, cmp)
+
+		fmt.Printf("%s: derived weights and 10%% allocation\n", name)
+		for _, p := range cmp.Profiles {
+			fmt.Printf("  %-5s class %4d  NLFCE %+9.1f  drawn %2d (random drew %2d)\n",
+				p.Op, p.Mutants, p.Eff.NLFCE,
+				cmp.TestOriented.Alloc[p.Op], cmp.Random.Alloc[p.Op])
+		}
+	}
+	fmt.Println()
+	fmt.Print(core.FormatTable2(cmps))
+	fmt.Println()
+	fmt.Println("Paper's qualitative claim: at the same 10% budget the test-")
+	fmt.Println("oriented sample yields a higher MS (validation preserved) and")
+	fmt.Println("a higher NLFCE (better structural pre-test) than random sampling.")
+}

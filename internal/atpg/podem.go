@@ -1,0 +1,551 @@
+// Package atpg implements deterministic test pattern generation for
+// combinational netlists using the PODEM algorithm (Goel 1981): PI-only
+// decisions, objective/backtrace guidance and bounded backtracking, on a
+// two-plane (good machine / faulty machine) three-valued simulation.
+//
+// The paper's motivation is that mutation-derived validation data can be
+// applied as a free pre-test before ATPG, reducing deterministic
+// test-generation effort; this package provides the ATPG whose effort is
+// measured (experiment E3 in DESIGN.md).
+package atpg
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/faultsim"
+	"repro/internal/netlist"
+	"repro/internal/scoap"
+)
+
+// tri is a three-valued logic level.
+type tri uint8
+
+const (
+	lo tri = iota
+	hi
+	xx
+)
+
+func (t tri) String() string { return [...]string{"0", "1", "X"}[t] }
+
+// Options tunes the ATPG run.
+type Options struct {
+	// MaxBacktracks bounds the PODEM search per fault; a fault whose search
+	// exceeds it is classified aborted. Default 4096.
+	MaxBacktracks int
+	// FillSeed seeds the random fill of don't-care PI positions.
+	FillSeed int64
+}
+
+func (o *Options) withDefaults() Options {
+	out := Options{MaxBacktracks: 4096}
+	if o != nil {
+		if o.MaxBacktracks > 0 {
+			out.MaxBacktracks = o.MaxBacktracks
+		}
+		out.FillSeed = o.FillSeed
+	}
+	return out
+}
+
+// Report summarizes an ATPG run. Backtracks and PodemCalls are the
+// "effort" measures the top-off experiment compares.
+type Report struct {
+	Vectors    []faultsim.Pattern // generated tests, in generation order
+	Detected   int                // faults detected (by PODEM tests incl. drops)
+	Redundant  int                // proven undetectable
+	Aborted    int                // backtrack limit exceeded
+	Backtracks int                // total backtracks over all PODEM calls
+	PodemCalls int
+	Total      int // faults targeted
+}
+
+// Coverage returns Detected / Total (0 when no faults were targeted).
+func (r *Report) Coverage() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.Detected) / float64(r.Total)
+}
+
+// Generate runs PODEM over every fault in faults (all collapsed faults of
+// nl when nil), with fault dropping: each generated vector is fault
+// simulated against the remaining targets. Sequential netlists are
+// rejected; the flow applies ATPG to combinational circuits (and to the
+// combinational core of sequential ones, which is how the experiments use
+// it).
+func Generate(nl *netlist.Netlist, faults []faultsim.Fault, opts *Options) (*Report, error) {
+	if nl.IsSequential() {
+		return nil, fmt.Errorf("atpg: sequential netlist %s not supported (extract the combinational core first)", nl.Name)
+	}
+	o := opts.withDefaults()
+	if faults == nil {
+		faults = faultsim.Faults(nl)
+	}
+	eng, err := newEngine(nl)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(o.FillSeed))
+	rep := &Report{Total: len(faults)}
+	alive := make([]bool, len(faults))
+	for i := range alive {
+		alive[i] = true
+	}
+	// Single-pattern drop simulation shares one evaluator.
+	dropEval, err := netlist.NewEvaluator(nl)
+	if err != nil {
+		return nil, err
+	}
+	goodEval, err := netlist.NewEvaluator(nl)
+	if err != nil {
+		return nil, err
+	}
+
+	for fi := range faults {
+		if !alive[fi] {
+			continue
+		}
+		rep.PodemCalls++
+		cube, backtracks, status := eng.podem([]netlist.FaultSite{faults[fi].Site}, o.MaxBacktracks)
+		rep.Backtracks += backtracks
+		switch status {
+		case statusRedundant:
+			rep.Redundant++
+			alive[fi] = false
+			continue
+		case statusAborted:
+			rep.Aborted++
+			alive[fi] = false
+			continue
+		}
+		// Fill don't-cares randomly and drop everything the vector catches.
+		pat := make(faultsim.Pattern, len(nl.PIs))
+		for i, v := range cube {
+			switch v {
+			case lo:
+				pat[i] = 0
+			case hi:
+				pat[i] = 1
+			default:
+				pat[i] = uint8(rng.Intn(2))
+			}
+		}
+		rep.Vectors = append(rep.Vectors, pat)
+		words := make([]uint64, len(nl.PIs))
+		for i, v := range pat {
+			if v != 0 {
+				words[i] = ^uint64(0)
+			}
+		}
+		goodOut, err := goodEval.Eval(words)
+		if err != nil {
+			return nil, err
+		}
+		goodCopy := append([]uint64(nil), goodOut...)
+		for fj := range faults {
+			if !alive[fj] {
+				continue
+			}
+			badOut := dropEval.EvalWith(words, faults[fj].Site, ^uint64(0))
+			for po := range badOut {
+				if badOut[po] != goodCopy[po] {
+					alive[fj] = false
+					rep.Detected++
+					break
+				}
+			}
+		}
+	}
+	return rep, nil
+}
+
+// --- PODEM engine ------------------------------------------------------------
+
+type podemStatus int
+
+const (
+	statusDetected podemStatus = iota
+	statusRedundant
+	statusAborted
+)
+
+type engine struct {
+	nl    *netlist.Netlist
+	order []int // combinational evaluation order
+	gv    []tri // good-plane values per gate
+	fv    []tri // faulty-plane values per gate
+	piIdx map[int]int
+	fan   [][]int // fanout gate IDs per gate (for X-path checks)
+	level []int
+	// cc holds SCOAP controllabilities guiding the backtrace.
+	cc *scoap.Measures
+	// siteAt indexes the current fault's sites by gate for imply/objective.
+	siteAt map[int]netlist.FaultSite
+}
+
+func newEngine(nl *netlist.Netlist) (*engine, error) {
+	order, err := nl.Levelize()
+	if err != nil {
+		return nil, err
+	}
+	e := &engine{
+		nl:     nl,
+		order:  order,
+		gv:     make([]tri, len(nl.Gates)),
+		fv:     make([]tri, len(nl.Gates)),
+		piIdx:  make(map[int]int),
+		fan:    make([][]int, len(nl.Gates)),
+		level:  make([]int, len(nl.Gates)),
+		siteAt: make(map[int]netlist.FaultSite),
+	}
+	for i, id := range nl.PIs {
+		e.piIdx[id] = i
+	}
+	for _, g := range nl.Gates {
+		for _, f := range g.Fanin {
+			e.fan[f] = append(e.fan[f], g.ID)
+		}
+	}
+	// Approximate controllability by level for backtrace tie-breaking.
+	for _, id := range order {
+		g := nl.Gates[id]
+		lvl := 0
+		for _, f := range g.Fanin {
+			if e.level[f]+1 > lvl {
+				lvl = e.level[f] + 1
+			}
+		}
+		e.level[id] = lvl
+	}
+	cc, err := scoap.Analyze(nl)
+	if err != nil {
+		return nil, err
+	}
+	e.cc = cc
+	return e, nil
+}
+
+type decision struct {
+	pi      int // PI gate ID
+	value   tri
+	flipped bool
+}
+
+// podem searches for a test cube for a fault occupying one or more sites
+// (a single site for combinational ATPG; one copy per time frame for the
+// unrolled sequential flow). It returns the PI cube (tri per PI, in PI
+// order), the number of backtracks, and the outcome.
+func (e *engine) podem(sites []netlist.FaultSite, maxBacktracks int) ([]tri, int, podemStatus) {
+	assign := make([]tri, len(e.nl.PIs))
+	for i := range assign {
+		assign[i] = xx
+	}
+	var stack []decision
+	backtracks := 0
+
+	for {
+		e.imply(assign, sites)
+		if e.detected() {
+			return assign, backtracks, statusDetected
+		}
+		objGate, objVal, ok := e.objective(sites)
+		if ok {
+			pi, v := e.backtrace(objGate, objVal)
+			if pi >= 0 {
+				stack = append(stack, decision{pi: pi, value: v})
+				assign[e.piIdx[pi]] = v
+				continue
+			}
+		}
+		// Dead end: flip the most recent unflipped decision.
+		flipped := false
+		for len(stack) > 0 {
+			top := &stack[len(stack)-1]
+			if !top.flipped {
+				backtracks++
+				if backtracks > maxBacktracks {
+					return nil, backtracks, statusAborted
+				}
+				top.flipped = true
+				top.value ^= 1 // lo <-> hi
+				assign[e.piIdx[top.pi]] = top.value
+				flipped = true
+				break
+			}
+			assign[e.piIdx[top.pi]] = xx
+			stack = stack[:len(stack)-1]
+		}
+		if !flipped {
+			return nil, backtracks, statusRedundant
+		}
+	}
+}
+
+// imply forward-simulates both planes in three-valued logic with the fault
+// injected into the faulty plane at every site. At most one site may
+// occupy a given gate (guaranteed by construction: one copy per frame).
+func (e *engine) imply(assign []tri, sites []netlist.FaultSite) {
+	nl := e.nl
+	for id := range nl.Gates {
+		e.gv[id] = xx
+		e.fv[id] = xx
+	}
+	for i, id := range nl.PIs {
+		e.gv[id] = assign[i]
+		e.fv[id] = assign[i]
+	}
+	for _, g := range nl.Gates {
+		switch g.Type {
+		case netlist.Const0:
+			e.gv[g.ID], e.fv[g.ID] = lo, lo
+		case netlist.Const1:
+			e.gv[g.ID], e.fv[g.ID] = hi, hi
+		}
+	}
+	for id := range e.siteAt {
+		delete(e.siteAt, id)
+	}
+	for _, st := range sites {
+		e.siteAt[st.Gate] = st
+	}
+	// Output faults on PIs or constants apply before gate evaluation.
+	for _, st := range sites {
+		if st.Pin < 0 && !nl.Gates[st.Gate].Type.IsComb() {
+			e.fv[st.Gate] = tri(st.Stuck)
+		}
+	}
+	for _, id := range e.order {
+		g := nl.Gates[id]
+		e.gv[id] = evalTri(g, e.gv, -1, xx)
+		fpin, fval := -1, xx
+		if st, ok := e.siteAt[id]; ok && st.Pin >= 0 {
+			fpin, fval = st.Pin, tri(st.Stuck)
+		}
+		e.fv[id] = evalTri(g, e.fv, fpin, fval)
+		if st, ok := e.siteAt[id]; ok && st.Pin < 0 {
+			e.fv[id] = tri(st.Stuck)
+		}
+	}
+}
+
+// evalTri computes a gate's three-valued output on one plane, optionally
+// overriding input pin fpin with fval.
+func evalTri(g *netlist.Gate, vals []tri, fpin int, fval tri) tri {
+	in := func(j int) tri {
+		if j == fpin {
+			return fval
+		}
+		return vals[g.Fanin[j]]
+	}
+	switch g.Type {
+	case netlist.Buf:
+		return in(0)
+	case netlist.Not:
+		return notTri(in(0))
+	case netlist.And, netlist.Nand:
+		v := hi
+		for j := range g.Fanin {
+			switch in(j) {
+			case lo:
+				v = lo
+			case xx:
+				if v != lo {
+					v = xx
+				}
+			}
+		}
+		if g.Type == netlist.Nand {
+			return notTri(v)
+		}
+		return v
+	case netlist.Or, netlist.Nor:
+		v := lo
+		for j := range g.Fanin {
+			switch in(j) {
+			case hi:
+				v = hi
+			case xx:
+				if v != hi {
+					v = xx
+				}
+			}
+		}
+		if g.Type == netlist.Nor {
+			return notTri(v)
+		}
+		return v
+	case netlist.Xor, netlist.Xnor:
+		v := lo
+		for j := range g.Fanin {
+			iv := in(j)
+			if iv == xx {
+				return xx
+			}
+			v ^= iv
+		}
+		if g.Type == netlist.Xnor {
+			return notTri(v)
+		}
+		return v
+	}
+	return vals[g.ID] // PI / const / DFF keep preset values
+}
+
+func notTri(t tri) tri {
+	switch t {
+	case lo:
+		return hi
+	case hi:
+		return lo
+	}
+	return xx
+}
+
+// detected reports whether any PO shows a definite good/faulty difference.
+func (e *engine) detected() bool {
+	for _, id := range e.nl.POs {
+		g, f := e.gv[id], e.fv[id]
+		if g != xx && f != xx && g != f {
+			return true
+		}
+	}
+	return false
+}
+
+// objective returns the next (net, value) goal: activate the fault at
+// some site whose good value is still X, otherwise advance the
+// D-frontier. For branch faults the D lives on the faulted gate's pin
+// (the driver net itself is healthy), so the pin's effective faulty value
+// is the stuck value, not the driver's.
+func (e *engine) objective(sites []netlist.FaultSite) (int, tri, bool) {
+	anyActivated := false
+	var pendingNet = -1
+	var pendingVal tri
+	for _, site := range sites {
+		siteNet := site.Gate
+		if site.Pin >= 0 {
+			siteNet = e.nl.Gates[site.Gate].Fanin[site.Pin]
+		}
+		switch e.gv[siteNet] {
+		case xx:
+			if pendingNet < 0 {
+				pendingNet, pendingVal = siteNet, notTri(tri(site.Stuck))
+			}
+		case tri(site.Stuck):
+			// unactivatable at this site under the current assignment
+		default:
+			anyActivated = true
+		}
+	}
+	if !anyActivated {
+		if pendingNet >= 0 {
+			return pendingNet, pendingVal, true
+		}
+		return 0, xx, false // no site can activate under this assignment
+	}
+	// Some site is activated; find a D-frontier gate: output X with a D
+	// input (accounting for injected pin values at fault sites).
+	for _, id := range e.order {
+		g := e.nl.Gates[id]
+		if e.gv[id] != xx && e.fv[id] != xx {
+			continue
+		}
+		hasD := false
+		for j, f := range g.Fanin {
+			gvf, fvf := e.gv[f], e.fv[f]
+			if st, ok := e.siteAt[id]; ok && j == st.Pin {
+				fvf = tri(st.Stuck)
+			}
+			if gvf != xx && fvf != xx && gvf != fvf {
+				hasD = true
+				break
+			}
+		}
+		if !hasD {
+			continue
+		}
+		// Set one X input to the gate's non-controlling value.
+		for _, f := range g.Fanin {
+			if e.gv[f] == xx {
+				return f, nonControlling(g.Type), true
+			}
+		}
+	}
+	// When the frontier is stuck but a site could still activate, try it.
+	if pendingNet >= 0 {
+		return pendingNet, pendingVal, true
+	}
+	return 0, xx, false
+}
+
+func nonControlling(t netlist.GateType) tri {
+	switch t {
+	case netlist.And, netlist.Nand:
+		return hi
+	case netlist.Or, netlist.Nor:
+		return lo
+	default: // XOR-family and inverters have no controlling value; 0 works
+		return lo
+	}
+}
+
+// backtrace maps an objective to a PI assignment by walking X-valued nets
+// backwards, flipping the goal through inverting gates. It returns -1 when
+// the objective is unreachable (no X input anywhere on the way).
+func (e *engine) backtrace(gate int, val tri) (int, tri) {
+	id, v := gate, val
+	for {
+		g := e.nl.Gates[id]
+		if g.Type == netlist.PI {
+			return id, v
+		}
+		switch g.Type {
+		case netlist.Not, netlist.Nand, netlist.Nor:
+			v = notTri(v)
+		}
+		// Choose an X input by SCOAP controllability: the cheapest when
+		// the goal is the gate's controlling value (any one input will
+		// do — take the easiest), the costliest when every input must be
+		// justified (resolve the hardest first so conflicts surface
+		// early).
+		next := -1
+		wantControlling := isControllingGoal(g.Type, v)
+		bestCost := -1
+		for _, f := range g.Fanin {
+			if e.gv[f] != xx {
+				continue
+			}
+			cost := e.cc.CC1[f]
+			if v == lo {
+				cost = e.cc.CC0[f]
+			}
+			if cost >= scoap.Inf {
+				cost = scoap.Inf - 1 - e.level[f] // prefer shallower among unreachables
+			}
+			if next == -1 ||
+				(wantControlling && cost < bestCost) ||
+				(!wantControlling && cost > bestCost) {
+				next, bestCost = f, cost
+			}
+		}
+		if next < 0 {
+			return -1, xx
+		}
+		id = next
+	}
+}
+
+// isControllingGoal reports whether the goal value v at the *input* side
+// of gate type t is that gate's controlling value (after the inversion
+// adjustment done by backtrace).
+func isControllingGoal(t netlist.GateType, v tri) bool {
+	switch t {
+	case netlist.And, netlist.Nand:
+		return v == lo
+	case netlist.Or, netlist.Nor:
+		return v == hi
+	}
+	return false
+}

@@ -1,0 +1,198 @@
+package atpg
+
+import (
+	"testing"
+
+	"repro/internal/faultsim"
+	"repro/internal/netlist"
+)
+
+func buildMux(t *testing.T) *netlist.Netlist {
+	t.Helper()
+	n := netlist.New("mux")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	s := n.AddInput("s")
+	ns := n.AddGate(netlist.Not, s)
+	t1 := n.AddGate(netlist.And, a, s)
+	t2 := n.AddGate(netlist.And, b, ns)
+	y := n.AddGate(netlist.Or, t1, t2)
+	n.MarkOutput(y, "y")
+	return n
+}
+
+// buildC17 is the classic 6-NAND ISCAS-85 c17 benchmark.
+func buildC17(t *testing.T) *netlist.Netlist {
+	t.Helper()
+	n := netlist.New("c17")
+	g1 := n.AddInput("1")
+	g2 := n.AddInput("2")
+	g3 := n.AddInput("3")
+	g6 := n.AddInput("6")
+	g7 := n.AddInput("7")
+	g10 := n.AddGate(netlist.Nand, g1, g3)
+	g11 := n.AddGate(netlist.Nand, g3, g6)
+	g16 := n.AddGate(netlist.Nand, g2, g11)
+	g19 := n.AddGate(netlist.Nand, g11, g7)
+	g22 := n.AddGate(netlist.Nand, g10, g16)
+	g23 := n.AddGate(netlist.Nand, g16, g19)
+	n.MarkOutput(g22, "22")
+	n.MarkOutput(g23, "23")
+	return n
+}
+
+func TestPodemFullCoverageMux(t *testing.T) {
+	nl := buildMux(t)
+	rep, err := Generate(nl, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Aborted != 0 {
+		t.Errorf("aborted = %d", rep.Aborted)
+	}
+	if rep.Redundant != 0 {
+		t.Errorf("redundant = %d for irredundant mux", rep.Redundant)
+	}
+	if rep.Detected != rep.Total {
+		t.Errorf("detected %d of %d", rep.Detected, rep.Total)
+	}
+	// Verify the generated vectors really achieve full coverage.
+	fs, err := faultsim.New(nl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fs.Run(rep.Vectors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coverage() != 1 {
+		t.Errorf("vectors achieve %.3f coverage", res.Coverage())
+	}
+}
+
+func TestPodemC17(t *testing.T) {
+	nl := buildC17(t)
+	rep, err := Generate(nl, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Detected != rep.Total || rep.Redundant != 0 || rep.Aborted != 0 {
+		t.Fatalf("c17: detected %d/%d redundant %d aborted %d",
+			rep.Detected, rep.Total, rep.Redundant, rep.Aborted)
+	}
+	// c17 is testable with a handful of vectors; PODEM with dropping
+	// should need far fewer than one per fault.
+	if len(rep.Vectors) >= rep.Total {
+		t.Errorf("no fault dropping: %d vectors for %d faults", len(rep.Vectors), rep.Total)
+	}
+	fs, _ := faultsim.New(nl, nil)
+	res, _ := fs.Run(rep.Vectors)
+	if res.Coverage() != 1 {
+		t.Errorf("c17 vectors achieve %.3f", res.Coverage())
+	}
+}
+
+func TestPodemFindsRedundantFault(t *testing.T) {
+	// y = OR(a, 1): y s-a-1 is undetectable.
+	n := netlist.New("red")
+	a := n.AddInput("a")
+	c1 := n.AddGate(netlist.Const1)
+	y := n.AddGate(netlist.Or, a, c1)
+	n.MarkOutput(y, "y")
+	rep, err := Generate(n, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Redundant == 0 {
+		t.Errorf("no redundancy found: %+v", rep)
+	}
+	if rep.Aborted != 0 {
+		t.Errorf("aborted on trivial redundancy: %+v", rep)
+	}
+}
+
+func TestPodemRejectsSequential(t *testing.T) {
+	n := netlist.New("seq")
+	d := n.AddInput("d")
+	q := n.AddDFF("q", 0)
+	n.SetDFFInput(q, d)
+	n.MarkOutput(q, "q")
+	if _, err := Generate(n, nil, nil); err == nil {
+		t.Fatal("sequential netlist accepted")
+	}
+}
+
+func TestPodemTargetedFaultSubset(t *testing.T) {
+	nl := buildMux(t)
+	all := faultsim.Faults(nl)
+	sub := all[:3]
+	rep, err := Generate(nl, sub, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total != 3 {
+		t.Errorf("total = %d, want 3", rep.Total)
+	}
+	if rep.Detected+rep.Redundant+rep.Aborted != 3 {
+		t.Errorf("classification does not add up: %+v", rep)
+	}
+}
+
+func TestPodemDeterministicWithSeed(t *testing.T) {
+	nl := buildC17(t)
+	r1, _ := Generate(nl, nil, &Options{FillSeed: 42})
+	r2, _ := Generate(nl, nil, &Options{FillSeed: 42})
+	if len(r1.Vectors) != len(r2.Vectors) {
+		t.Fatalf("vector counts differ: %d vs %d", len(r1.Vectors), len(r2.Vectors))
+	}
+	for i := range r1.Vectors {
+		for j := range r1.Vectors[i] {
+			if r1.Vectors[i][j] != r2.Vectors[i][j] {
+				t.Fatalf("vector %d differs", i)
+			}
+		}
+	}
+}
+
+func TestPreTestReducesEffort(t *testing.T) {
+	// The top-off scenario: faults already covered by a pre-test are not
+	// targeted, so PODEM is called fewer times and emits fewer vectors.
+	nl := buildC17(t)
+	all := faultsim.Faults(nl)
+
+	// Pre-test: a few vectors, fault simulate, keep undetected faults.
+	pre := []faultsim.Pattern{
+		{0, 1, 1, 1, 0}, {1, 0, 1, 0, 1}, {1, 1, 0, 1, 1},
+	}
+	fs, _ := faultsim.New(nl, all)
+	res, _ := fs.Run(pre)
+	var remaining []faultsim.Fault
+	for i, d := range res.FirstDetected {
+		if d < 0 {
+			remaining = append(remaining, all[i])
+		}
+	}
+	if len(remaining) == 0 || len(remaining) == len(all) {
+		t.Fatalf("pre-test detected %d of %d; want partial", len(all)-len(remaining), len(all))
+	}
+
+	full, _ := Generate(nl, all, nil)
+	topoff, _ := Generate(nl, remaining, nil)
+	if topoff.PodemCalls >= full.PodemCalls {
+		t.Errorf("top-off PODEM calls %d !< full %d", topoff.PodemCalls, full.PodemCalls)
+	}
+	if len(topoff.Vectors) > len(full.Vectors) {
+		t.Errorf("top-off vectors %d > full %d", len(topoff.Vectors), len(full.Vectors))
+	}
+}
+
+func TestReportCoverage(t *testing.T) {
+	r := &Report{Detected: 3, Total: 4}
+	if got := r.Coverage(); got != 0.75 {
+		t.Errorf("coverage = %v", got)
+	}
+	empty := &Report{}
+	if empty.Coverage() != 0 {
+		t.Error("empty coverage not 0")
+	}
+}

@@ -1,0 +1,238 @@
+// Package bitvec implements fixed-width unsigned bit vectors of 1 to 64
+// bits. Values are the data plane of both the behavioral simulator and the
+// synthesizer: every MHDL signal, register and constant carries a BV.
+//
+// A BV is a value type; all operations return new values and never mutate
+// their operands. Operations are width-checked: combining vectors of
+// different widths panics, because a width mismatch is always a programming
+// error upstream (the HDL type checker rejects mismatched source before
+// simulation starts).
+package bitvec
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MaxWidth is the largest supported vector width in bits.
+const MaxWidth = 64
+
+// BV is a fixed-width unsigned bit vector. The zero value is a 0-width
+// invalid vector; construct values with New, Zero, Ones or FromUint.
+type BV struct {
+	bits  uint64
+	width uint8
+}
+
+// New returns a BV of the given width holding value v truncated to width
+// bits. It panics if width is outside [1, MaxWidth].
+func New(v uint64, width int) BV {
+	checkWidth(width)
+	return BV{bits: v & mask(width), width: uint8(width)}
+}
+
+// Zero returns the all-zeros vector of the given width.
+func Zero(width int) BV { return New(0, width) }
+
+// Ones returns the all-ones vector of the given width.
+func Ones(width int) BV { return New(^uint64(0), width) }
+
+// Bool returns a 1-bit vector holding 1 if b is true and 0 otherwise.
+func Bool(b bool) BV {
+	if b {
+		return New(1, 1)
+	}
+	return New(0, 1)
+}
+
+func checkWidth(width int) {
+	if width < 1 || width > MaxWidth {
+		panic(fmt.Sprintf("bitvec: width %d out of range [1,%d]", width, MaxWidth))
+	}
+}
+
+func mask(width int) uint64 {
+	if width >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(width)) - 1
+}
+
+// Width reports the vector's width in bits. A zero-value BV has width 0.
+func (a BV) Width() int { return int(a.width) }
+
+// Uint returns the vector's value as a uint64.
+func (a BV) Uint() uint64 { return a.bits }
+
+// IsZero reports whether every bit is 0.
+func (a BV) IsZero() bool { return a.bits == 0 }
+
+// IsTrue reports whether the vector is non-zero. It is the truth test used
+// by if/case guards in the simulator.
+func (a BV) IsTrue() bool { return a.bits != 0 }
+
+// Bit returns bit i (0 = least significant) as 0 or 1. It panics if i is
+// out of range.
+func (a BV) Bit(i int) uint64 {
+	if i < 0 || i >= a.Width() {
+		panic(fmt.Sprintf("bitvec: bit index %d out of range for width %d", i, a.Width()))
+	}
+	return (a.bits >> uint(i)) & 1
+}
+
+// SetBit returns a copy of a with bit i set to v (0 or 1).
+func (a BV) SetBit(i int, v uint64) BV {
+	if i < 0 || i >= a.Width() {
+		panic(fmt.Sprintf("bitvec: bit index %d out of range for width %d", i, a.Width()))
+	}
+	if v&1 == 1 {
+		return BV{bits: a.bits | (uint64(1) << uint(i)), width: a.width}
+	}
+	return BV{bits: a.bits &^ (uint64(1) << uint(i)), width: a.width}
+}
+
+// Slice returns bits [lo, hi] inclusive (hi >= lo) as a vector of width
+// hi-lo+1. It panics on out-of-range indices.
+func (a BV) Slice(hi, lo int) BV {
+	if lo < 0 || hi >= a.Width() || hi < lo {
+		panic(fmt.Sprintf("bitvec: slice [%d:%d] out of range for width %d", hi, lo, a.Width()))
+	}
+	w := hi - lo + 1
+	return New(a.bits>>uint(lo), w)
+}
+
+// Concat returns a ++ b with a occupying the high-order bits. The combined
+// width must not exceed MaxWidth.
+func (a BV) Concat(b BV) BV {
+	w := a.Width() + b.Width()
+	if w > MaxWidth {
+		panic(fmt.Sprintf("bitvec: concat width %d exceeds %d", w, MaxWidth))
+	}
+	return New(a.bits<<uint(b.Width())|b.bits, w)
+}
+
+// Resize returns a zero-extended or truncated copy of a with the new width.
+func (a BV) Resize(width int) BV { return New(a.bits, width) }
+
+func (a BV) check(b BV, op string) {
+	if a.width != b.width {
+		panic(fmt.Sprintf("bitvec: %s width mismatch %d vs %d", op, a.width, b.width))
+	}
+}
+
+// And returns the bitwise AND of a and b.
+func (a BV) And(b BV) BV { a.check(b, "and"); return BV{a.bits & b.bits, a.width} }
+
+// Or returns the bitwise OR of a and b.
+func (a BV) Or(b BV) BV { a.check(b, "or"); return BV{a.bits | b.bits, a.width} }
+
+// Xor returns the bitwise XOR of a and b.
+func (a BV) Xor(b BV) BV { a.check(b, "xor"); return BV{a.bits ^ b.bits, a.width} }
+
+// Nand returns the bitwise NAND of a and b.
+func (a BV) Nand(b BV) BV { return a.And(b).Not() }
+
+// Nor returns the bitwise NOR of a and b.
+func (a BV) Nor(b BV) BV { return a.Or(b).Not() }
+
+// Xnor returns the bitwise XNOR of a and b.
+func (a BV) Xnor(b BV) BV { return a.Xor(b).Not() }
+
+// Not returns the bitwise complement of a.
+func (a BV) Not() BV { return BV{^a.bits & mask(a.Width()), a.width} }
+
+// Add returns a + b modulo 2^width.
+func (a BV) Add(b BV) BV { a.check(b, "add"); return New(a.bits+b.bits, a.Width()) }
+
+// Sub returns a - b modulo 2^width.
+func (a BV) Sub(b BV) BV { a.check(b, "sub"); return New(a.bits-b.bits, a.Width()) }
+
+// Mul returns a * b modulo 2^width.
+func (a BV) Mul(b BV) BV { a.check(b, "mul"); return New(a.bits*b.bits, a.Width()) }
+
+// Neg returns the two's-complement negation of a.
+func (a BV) Neg() BV { return New(-a.bits, a.Width()) }
+
+// Shl returns a shifted left by b bit positions (zero fill). Shift counts
+// at or beyond the width yield zero.
+func (a BV) Shl(b BV) BV {
+	if b.bits >= uint64(a.Width()) {
+		return Zero(a.Width())
+	}
+	return New(a.bits<<b.bits, a.Width())
+}
+
+// Shr returns a shifted right by b bit positions (logical, zero fill).
+func (a BV) Shr(b BV) BV {
+	if b.bits >= uint64(a.Width()) {
+		return Zero(a.Width())
+	}
+	return New(a.bits>>b.bits, a.Width())
+}
+
+// Eq returns Bool(a == b).
+func (a BV) Eq(b BV) BV { a.check(b, "eq"); return Bool(a.bits == b.bits) }
+
+// Ne returns Bool(a != b).
+func (a BV) Ne(b BV) BV { a.check(b, "ne"); return Bool(a.bits != b.bits) }
+
+// Lt returns Bool(a < b), unsigned.
+func (a BV) Lt(b BV) BV { a.check(b, "lt"); return Bool(a.bits < b.bits) }
+
+// Le returns Bool(a <= b), unsigned.
+func (a BV) Le(b BV) BV { a.check(b, "le"); return Bool(a.bits <= b.bits) }
+
+// Gt returns Bool(a > b), unsigned.
+func (a BV) Gt(b BV) BV { a.check(b, "gt"); return Bool(a.bits > b.bits) }
+
+// Ge returns Bool(a >= b), unsigned.
+func (a BV) Ge(b BV) BV { a.check(b, "ge"); return Bool(a.bits >= b.bits) }
+
+// Equal reports whether a and b have the same width and the same bits.
+// Unlike Eq it is a Go-level comparison, not a 1-bit HDL result.
+func (a BV) Equal(b BV) bool { return a.width == b.width && a.bits == b.bits }
+
+// ReduceAnd returns Bool(all bits set).
+func (a BV) ReduceAnd() BV { return Bool(a.bits == mask(a.Width())) }
+
+// ReduceOr returns Bool(any bit set).
+func (a BV) ReduceOr() BV { return Bool(a.bits != 0) }
+
+// ReduceXor returns the parity of a as a 1-bit vector.
+func (a BV) ReduceXor() BV {
+	x := a.bits
+	x ^= x >> 32
+	x ^= x >> 16
+	x ^= x >> 8
+	x ^= x >> 4
+	x ^= x >> 2
+	x ^= x >> 1
+	return Bool(x&1 == 1)
+}
+
+// PopCount returns the number of set bits.
+func (a BV) PopCount() int {
+	n := 0
+	for x := a.bits; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+// String renders the vector as width'bBITS, e.g. 3'b101, matching common
+// HDL literal notation.
+func (a BV) String() string {
+	if a.width == 0 {
+		return "<invalid>"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d'b", a.width)
+	for i := a.Width() - 1; i >= 0; i-- {
+		if a.Bit(i) == 1 {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}

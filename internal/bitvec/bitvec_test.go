@@ -1,0 +1,283 @@
+package bitvec
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewTruncates(t *testing.T) {
+	v := New(0xFF, 4)
+	if v.Uint() != 0xF {
+		t.Fatalf("New(0xFF,4) = %v, want 4'b1111", v)
+	}
+	if v.Width() != 4 {
+		t.Fatalf("width = %d, want 4", v.Width())
+	}
+}
+
+func TestNewPanicsOnBadWidth(t *testing.T) {
+	for _, w := range []int{0, -1, 65, 1000} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New with width %d did not panic", w)
+				}
+			}()
+			New(0, w)
+		}()
+	}
+}
+
+func TestZeroOnesBool(t *testing.T) {
+	if !Zero(8).IsZero() {
+		t.Error("Zero(8) not zero")
+	}
+	if Ones(8).Uint() != 0xFF {
+		t.Errorf("Ones(8) = %x", Ones(8).Uint())
+	}
+	if Ones(64).Uint() != ^uint64(0) {
+		t.Errorf("Ones(64) = %x", Ones(64).Uint())
+	}
+	if Bool(true).Uint() != 1 || Bool(false).Uint() != 0 {
+		t.Error("Bool broken")
+	}
+	if !Bool(true).IsTrue() || Bool(false).IsTrue() {
+		t.Error("IsTrue broken")
+	}
+}
+
+func TestBitAndSetBit(t *testing.T) {
+	v := New(0b1010, 4)
+	want := []uint64{0, 1, 0, 1}
+	for i, w := range want {
+		if v.Bit(i) != w {
+			t.Errorf("bit %d = %d, want %d", i, v.Bit(i), w)
+		}
+	}
+	v2 := v.SetBit(0, 1).SetBit(3, 0)
+	if v2.Uint() != 0b0011 {
+		t.Errorf("after SetBit: %v", v2)
+	}
+	if v.Uint() != 0b1010 {
+		t.Error("SetBit mutated receiver")
+	}
+}
+
+func TestBitPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Bit out of range did not panic")
+		}
+	}()
+	New(0, 4).Bit(4)
+}
+
+func TestSliceConcat(t *testing.T) {
+	v := New(0b110101, 6)
+	s := v.Slice(4, 2) // bits 4..2 = 101
+	if s.Width() != 3 || s.Uint() != 0b101 {
+		t.Errorf("slice = %v", s)
+	}
+	c := New(0b11, 2).Concat(New(0b001, 3))
+	if c.Width() != 5 || c.Uint() != 0b11001 {
+		t.Errorf("concat = %v", c)
+	}
+}
+
+func TestResize(t *testing.T) {
+	v := New(0b1011, 4)
+	if got := v.Resize(2); got.Uint() != 0b11 {
+		t.Errorf("truncate = %v", got)
+	}
+	if got := v.Resize(8); got.Uint() != 0b1011 || got.Width() != 8 {
+		t.Errorf("extend = %v", got)
+	}
+}
+
+func TestWidthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("And with mismatched widths did not panic")
+		}
+	}()
+	New(1, 4).And(New(1, 5))
+}
+
+func TestLogicOps(t *testing.T) {
+	a, b := New(0b1100, 4), New(0b1010, 4)
+	cases := []struct {
+		name string
+		got  BV
+		want uint64
+	}{
+		{"and", a.And(b), 0b1000},
+		{"or", a.Or(b), 0b1110},
+		{"xor", a.Xor(b), 0b0110},
+		{"nand", a.Nand(b), 0b0111},
+		{"nor", a.Nor(b), 0b0001},
+		{"xnor", a.Xnor(b), 0b1001},
+		{"not", a.Not(), 0b0011},
+	}
+	for _, c := range cases {
+		if c.got.Uint() != c.want {
+			t.Errorf("%s = %04b, want %04b", c.name, c.got.Uint(), c.want)
+		}
+	}
+}
+
+func TestArithWraps(t *testing.T) {
+	a := New(0xF, 4)
+	if got := a.Add(New(1, 4)); got.Uint() != 0 {
+		t.Errorf("0xF+1 = %v, want wrap to 0", got)
+	}
+	if got := Zero(4).Sub(New(1, 4)); got.Uint() != 0xF {
+		t.Errorf("0-1 = %v, want 0xF", got)
+	}
+	if got := New(5, 4).Mul(New(7, 4)); got.Uint() != (35 & 0xF) {
+		t.Errorf("5*7 mod 16 = %v", got)
+	}
+	if got := New(3, 4).Neg(); got.Uint() != 13 {
+		t.Errorf("-3 = %v, want 13", got)
+	}
+}
+
+func TestShifts(t *testing.T) {
+	a := New(0b0110, 4)
+	if got := a.Shl(New(1, 4)); got.Uint() != 0b1100 {
+		t.Errorf("shl 1 = %v", got)
+	}
+	if got := a.Shr(New(2, 4)); got.Uint() != 0b0001 {
+		t.Errorf("shr 2 = %v", got)
+	}
+	if got := a.Shl(New(4, 4)); !got.IsZero() {
+		t.Errorf("shl >= width = %v, want 0", got)
+	}
+	if got := a.Shr(New(15, 4)); !got.IsZero() {
+		t.Errorf("shr >= width = %v, want 0", got)
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	a, b := New(3, 4), New(5, 4)
+	checks := []struct {
+		name string
+		got  BV
+		want bool
+	}{
+		{"eq", a.Eq(a), true}, {"eq2", a.Eq(b), false},
+		{"ne", a.Ne(b), true}, {"lt", a.Lt(b), true},
+		{"le", a.Le(a), true}, {"gt", b.Gt(a), true},
+		{"ge", a.Ge(b), false},
+	}
+	for _, c := range checks {
+		if c.got.IsTrue() != c.want {
+			t.Errorf("%s: got %v, want %v", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestReductions(t *testing.T) {
+	if !Ones(7).ReduceAnd().IsTrue() || New(0b011, 3).ReduceAnd().IsTrue() {
+		t.Error("ReduceAnd broken")
+	}
+	if !New(0b010, 3).ReduceOr().IsTrue() || Zero(3).ReduceOr().IsTrue() {
+		t.Error("ReduceOr broken")
+	}
+	if !New(0b0111, 4).ReduceXor().IsTrue() || New(0b0110, 4).ReduceXor().IsTrue() {
+		t.Error("ReduceXor broken")
+	}
+}
+
+func TestPopCount(t *testing.T) {
+	if got := New(0b1011_0110, 8).PopCount(); got != 5 {
+		t.Errorf("popcount = %d, want 5", got)
+	}
+	if got := Zero(8).PopCount(); got != 0 {
+		t.Errorf("popcount zero = %d", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := New(0b101, 3).String(); s != "3'b101" {
+		t.Errorf("String = %q", s)
+	}
+	if s := (BV{}).String(); s != "<invalid>" {
+		t.Errorf("zero String = %q", s)
+	}
+}
+
+// --- property-based tests -------------------------------------------------
+
+// arb clamps arbitrary quick-generated inputs to a legal width and value.
+func arb(v uint64, w uint8) BV {
+	width := int(w%MaxWidth) + 1
+	return New(v, width)
+}
+
+func TestPropDeMorgan(t *testing.T) {
+	f := func(x, y uint64, w uint8) bool {
+		a, b := arb(x, w), arb(y, uint8(arb(x, w).Width()-1))
+		b = b.Resize(a.Width())
+		return a.Nand(b).Equal(a.Not().Or(b.Not())) &&
+			a.Nor(b).Equal(a.Not().And(b.Not()))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropXorSelfInverse(t *testing.T) {
+	f := func(x, y uint64, w uint8) bool {
+		a := arb(x, w)
+		b := New(y, a.Width())
+		return a.Xor(b).Xor(b).Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropAddSubInverse(t *testing.T) {
+	f := func(x, y uint64, w uint8) bool {
+		a := arb(x, w)
+		b := New(y, a.Width())
+		return a.Add(b).Sub(b).Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropNotInvolution(t *testing.T) {
+	f := func(x uint64, w uint8) bool {
+		a := arb(x, w)
+		return a.Not().Not().Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropConcatSliceRoundTrip(t *testing.T) {
+	f := func(x, y uint64, wa, wb uint8) bool {
+		a := New(x, int(wa%32)+1)
+		b := New(y, int(wb%32)+1)
+		c := a.Concat(b)
+		gotA := c.Slice(c.Width()-1, b.Width())
+		gotB := c.Slice(b.Width()-1, 0)
+		return gotA.Equal(a) && gotB.Equal(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropReduceXorMatchesPopCount(t *testing.T) {
+	f := func(x uint64, w uint8) bool {
+		a := arb(x, w)
+		return a.ReduceXor().IsTrue() == (a.PopCount()%2 == 1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

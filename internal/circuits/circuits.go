@@ -1,0 +1,480 @@
+// Package circuits provides the benchmark suite: MHDL re-implementations
+// of the circuits the paper evaluates on. The originals are the ITC'99
+// sequential benchmarks (b01 serial-flow comparator, b02 BCD recognizer,
+// b03 resource arbiter, b06 interrupt handler) and the ISCAS'85
+// combinational benchmarks (c17 NAND network, c432 27-channel priority
+// interrupt controller, c499 32-bit single-error-correcting circuit, c880
+// ALU). The original VHDL/netlists are not redistributable here, so each
+// circuit is a functional analog written from the published circuit
+// descriptions; gate counts after synthesis land in the same ballpark as
+// the originals, and — what matters for the paper's experiments — the
+// high-level description and the gate-level netlist are two views of the
+// same design, exactly as in the paper's flow. See DESIGN.md
+// "Substitutions".
+package circuits
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/hdl"
+)
+
+// sources maps circuit name to MHDL source text.
+var sources = map[string]string{
+	"b01":   b01Src,
+	"b02":   b02Src,
+	"b03":   b03Src,
+	"b04":   b04Src,
+	"b06":   b06Src,
+	"c17":   c17Src,
+	"c432":  c432Src,
+	"c499":  c499Src,
+	"c880":  c880Src,
+	"c6288": c6288Src,
+}
+
+// Names returns all available circuit names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(sources))
+	for n := range sources {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PaperBenchmarks returns the four circuits of the paper's Tables 1 and 2,
+// in the paper's order.
+func PaperBenchmarks() []string { return []string{"b01", "b03", "c432", "c499"} }
+
+// Source returns the MHDL source for a named circuit.
+func Source(name string) (string, bool) {
+	s, ok := sources[name]
+	return s, ok
+}
+
+// Load parses and strictly checks a named benchmark circuit.
+func Load(name string) (*hdl.Circuit, error) {
+	src, ok := sources[name]
+	if !ok {
+		return nil, fmt.Errorf("circuits: unknown benchmark %q (have %v)", name, Names())
+	}
+	c, err := hdl.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("circuits: %s: %w", name, err)
+	}
+	return c, nil
+}
+
+// MustLoad is Load for static sources that are known to parse; it panics
+// on error and exists for examples and benchmarks.
+func MustLoad(name string) *hdl.Circuit {
+	c, err := Load(name)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// b01: serial-flow comparator FSM (ITC'99 b01 analog). Two serial lines
+// are compared bit by bit; a saturating run-length counter raises overflw,
+// and mismatches push the FSM through resynchronization states.
+const b01Src = `
+circuit b01 {
+  input line1 : bit;
+  input line2 : bit;
+  input reset : bit;
+  output outp : bit;
+  output overflw : bit;
+  reg stato : bits(3);
+  reg cnt : bits(3);
+  const S_CMP : bits(3) = 3'd0;
+  const S_GT : bits(3) = 3'd1;
+  const S_LT : bits(3) = 3'd2;
+  const S_SYNC : bits(3) = 3'd3;
+  const CMAX : bits(3) = 3'd5;
+  seq {
+    if reset == 1 {
+      stato = S_CMP;
+      cnt = 3'd0;
+      outp = 0;
+      overflw = 0;
+    } else {
+      overflw = 0;
+      case stato {
+        when S_CMP: {
+          outp = line1 xnor line2;
+          if line1 == line2 {
+            if cnt == CMAX {
+              overflw = 1;
+              cnt = 3'd0;
+            } else {
+              cnt = cnt + 1;
+            }
+          } else {
+            if line1 > line2 {
+              stato = S_GT;
+            } else {
+              stato = S_LT;
+            }
+            cnt = 3'd0;
+          }
+        }
+        when S_GT: {
+          outp = line1 and line2;
+          if line1 == 1 and line2 == 1 { stato = S_SYNC; }
+        }
+        when S_LT: {
+          outp = line1 or line2;
+          if line1 == 0 and line2 == 0 { stato = S_SYNC; }
+        }
+        when S_SYNC: {
+          outp = line1 xor line2;
+          if line1 == line2 {
+            stato = S_CMP;
+            cnt = 3'd0;
+          }
+        }
+        default: {
+          stato = S_CMP;
+          outp = 0;
+        }
+      }
+    }
+  }
+}
+`
+
+// b02: serial BCD digit recognizer (ITC'99 b02 analog). Bits arrive MSB
+// first; after four bits the accumulated digit is flagged valid when it is
+// a legal BCD code (<= 9).
+const b02Src = `
+circuit b02 {
+  input u : bit;
+  input reset : bit;
+  output o : bit;
+  reg st : bits(3);
+  reg digit : bits(4);
+  const LAST : bits(3) = 3'd4;
+  const BCDMAX : bits(4) = 4'd9;
+  seq {
+    if reset == 1 {
+      st = 3'd0;
+      digit = 4'd0;
+      o = 0;
+    } else {
+      o = 0;
+      if st == LAST {
+        if digit <= BCDMAX { o = 1; }
+        st = 3'd0;
+        digit = 4'd0;
+      } else {
+        digit = (digit << 1) or (3'd0 ++ u);
+        st = st + 1;
+      }
+    }
+  }
+}
+`
+
+// b03: resource arbiter (ITC'99 b03 analog). Four requesters share one
+// resource; pending requests are latched, grants last two cycles, and the
+// scan direction alternates to avoid starvation.
+const b03Src = `
+circuit b03 {
+  input req : bits(4);
+  input reset : bit;
+  output grant : bits(4);
+  output busy : bit;
+  reg pending : bits(4);
+  reg flip : bit;
+  reg timer : bits(2);
+  const HOLD : bits(2) = 2'd2;
+  seq {
+    if reset == 1 {
+      pending = 4'd0;
+      flip = 0;
+      timer = 2'd0;
+      grant = 4'd0;
+      busy = 0;
+    } else {
+      if timer != 2'd0 {
+        timer = timer - 1;
+        busy = 1;
+        pending = pending or req;
+        if timer == 2'd1 {
+          grant = 4'd0;
+          busy = 0;
+        }
+      } else {
+        busy = 0;
+        if (pending or req) != 4'd0 {
+          timer = HOLD;
+          busy = 1;
+          flip = flip xor 1;
+          if flip == 0 {
+            if (pending or req)[0] == 1 {
+              grant = 4'b0001;
+              pending = (pending or req) and 4'b1110;
+            } else if (pending or req)[1] == 1 {
+              grant = 4'b0010;
+              pending = (pending or req) and 4'b1101;
+            } else if (pending or req)[2] == 1 {
+              grant = 4'b0100;
+              pending = (pending or req) and 4'b1011;
+            } else {
+              grant = 4'b1000;
+              pending = (pending or req) and 4'b0111;
+            }
+          } else {
+            if (pending or req)[3] == 1 {
+              grant = 4'b1000;
+              pending = (pending or req) and 4'b0111;
+            } else if (pending or req)[2] == 1 {
+              grant = 4'b0100;
+              pending = (pending or req) and 4'b1011;
+            } else if (pending or req)[1] == 1 {
+              grant = 4'b0010;
+              pending = (pending or req) and 4'b1101;
+            } else {
+              grant = 4'b0001;
+              pending = (pending or req) and 4'b1110;
+            }
+          }
+        } else {
+          grant = 4'd0;
+        }
+      }
+    }
+  }
+}
+`
+
+// b04: running min/max tracker (ITC'99 b04 analog). An 8-bit data stream
+// updates registered minimum and maximum; restart re-seeds both from the
+// current sample, and the spread is exported combinationally.
+const b04Src = `
+circuit b04 {
+  input data : bits(8);
+  input restart : bit;
+  input reset : bit;
+  output omin : bits(8);
+  output omax : bits(8);
+  output spread : bits(8);
+  reg rmin : bits(8) = 8'd255;
+  reg rmax : bits(8);
+  const TOP : bits(8) = 8'd255;
+  seq {
+    if reset == 1 {
+      rmin = TOP;
+      rmax = 8'd0;
+    } else if restart == 1 {
+      rmin = data;
+      rmax = data;
+    } else {
+      if data < rmin { rmin = data; }
+      if data > rmax { rmax = data; }
+    }
+  }
+  comb {
+    omin = rmin;
+    omax = rmax;
+    spread = rmax - rmin;
+  }
+}
+`
+
+// b06: interrupt handshake controller (ITC'99 b06 analog): a four-state
+// request/acknowledge protocol FSM with an exposed state vector.
+const b06Src = `
+circuit b06 {
+  input irq : bit;
+  input ackin : bit;
+  input reset : bit;
+  output irqout : bit;
+  output state_o : bits(2);
+  reg st : bits(2);
+  const IDLE : bits(2) = 2'd0;
+  const RAISE : bits(2) = 2'd1;
+  const SERVE : bits(2) = 2'd2;
+  const DRAIN : bits(2) = 2'd3;
+  seq {
+    if reset == 1 {
+      st = IDLE;
+      irqout = 0;
+      state_o = 2'd0;
+    } else {
+      case st {
+        when IDLE: {
+          irqout = 0;
+          if irq == 1 { st = RAISE; }
+        }
+        when RAISE: {
+          irqout = 1;
+          if ackin == 1 { st = SERVE; }
+        }
+        when SERVE: {
+          irqout = 0;
+          if ackin == 0 { st = DRAIN; }
+        }
+        when DRAIN: {
+          if irq == 0 { st = IDLE; }
+        }
+      }
+      state_o = st;
+    }
+  }
+}
+`
+
+// c17: the six-NAND ISCAS'85 toy benchmark, transcribed literally.
+const c17Src = `
+circuit c17 {
+  input i1 : bit;
+  input i2 : bit;
+  input i3 : bit;
+  input i6 : bit;
+  input i7 : bit;
+  output o22 : bit;
+  output o23 : bit;
+  wire n10 : bit;
+  wire n11 : bit;
+  wire n16 : bit;
+  wire n19 : bit;
+  comb {
+    n10 = i1 nand i3;
+    n11 = i3 nand i6;
+    n16 = i2 nand n11;
+    n19 = n11 nand i7;
+    o22 = n10 nand n16;
+    o23 = n16 nand n19;
+  }
+}
+`
+
+// c432: 27-channel priority interrupt controller (ISCAS'85 c432 analog).
+// Three request groups of nine channels share an enable mask; group A has
+// priority over B over C, and the winning group's highest active channel
+// is encoded.
+const c432Src = `
+circuit c432 {
+  input ra : bits(9);
+  input rb : bits(9);
+  input rc : bits(9);
+  input en : bits(9);
+  output pa : bit;
+  output pb : bit;
+  output pc : bit;
+  output chan : bits(4);
+  wire ma : bits(9);
+  wire mb : bits(9);
+  wire mc : bits(9);
+  wire sel : bits(9);
+  comb {
+    ma = ra and en;
+    mb = rb and en;
+    mc = rc and en;
+    pa = ror ma;
+    pb = (not (ror ma)) and (ror mb);
+    pc = (not (ror ma)) and (not (ror mb)) and (ror mc);
+    sel = 9'd0;
+    if pa == 1 {
+      sel = ma;
+    } else if pb == 1 {
+      sel = mb;
+    } else if pc == 1 {
+      sel = mc;
+    }
+    chan = 4'd0;
+    for i in 0 .. 8 {
+      if sel[i] == 1 { chan = i; }
+    }
+  }
+}
+`
+
+// c499: 32-bit single-error-correcting circuit (ISCAS'85 c499 analog).
+// Five positional parity groups plus an overall parity form a syndrome;
+// a non-zero syndrome with odd overall parity locates and flips the
+// erroneous data bit.
+const c499Src = `
+circuit c499 {
+  input d : bits(32);
+  input chk : bits(6);
+  output q : bits(32);
+  wire syn : bits(5);
+  wire par : bit;
+  wire synd : bits(6);
+  wire flip : bits(32);
+  comb {
+    syn = 5'd0;
+    for j in 0 .. 4 {
+      for i in 0 .. 31 {
+        if ((i >> j) and 1) == 1 {
+          syn[j] = syn[j] xor d[i];
+        }
+      }
+    }
+    par = rxor d;
+    synd = (par ++ syn) xor chk;
+    flip = 32'd0;
+    for i in 0 .. 31 {
+      if (synd[4:0] == i) and (synd[5] == 1) {
+        flip[i] = 1;
+      }
+    }
+    q = d xor flip;
+  }
+}
+`
+
+// c6288: 8x8 array multiplier (ISCAS'85 c6288 analog; the original is a
+// 16x16 multiplier of ~2400 gates, this synthesizes to the same order).
+const c6288Src = `
+circuit c6288 {
+  input a : bits(8);
+  input b : bits(8);
+  output p : bits(16);
+  comb {
+    p = (8'd0 ++ a) * (8'd0 ++ b);
+  }
+}
+`
+
+// c880: 8-bit ALU slice (ISCAS'85 c880 analog) with carry chain, logic
+// unit, shifter and zero flag.
+const c880Src = `
+circuit c880 {
+  input a : bits(8);
+  input b : bits(8);
+  input op : bits(3);
+  input cin : bit;
+  output y : bits(8);
+  output cout : bit;
+  output zero : bit;
+  wire sum : bits(9);
+  comb {
+    sum = (1'd0 ++ a) + (1'd0 ++ b) + (8'd0 ++ cin);
+    y = 8'd0;
+    cout = 0;
+    case op {
+      when 3'd0: {
+        y = sum[7:0];
+        cout = sum[8];
+      }
+      when 3'd1: {
+        y = a - b;
+        cout = a < b;
+      }
+      when 3'd2: { y = a and b; }
+      when 3'd3: { y = a or b; }
+      when 3'd4: { y = a xor b; }
+      when 3'd5: { y = not a; }
+      when 3'd6: { y = a << 1; }
+      when 3'd7: { y = a >> 1; }
+    }
+    zero = y == 8'd0;
+  }
+}
+`

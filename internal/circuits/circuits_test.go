@@ -1,0 +1,373 @@
+package circuits
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/faultsim"
+	"repro/internal/hdl"
+	"repro/internal/mutation"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+	"repro/internal/synth"
+)
+
+func TestAllBenchmarksParseStrict(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			if _, err := Load(name); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestAllBenchmarksSynthesize(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			c := MustLoad(name)
+			nl, err := synth.Synthesize(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := nl.Stats()
+			if st.Gates == 0 {
+				t.Errorf("%s synthesized to zero gates", name)
+			}
+			t.Logf("%v", st)
+		})
+	}
+}
+
+// TestSimNetlistEquivalence is the suite-wide cross-validation: behavioral
+// simulation and synthesized netlist must agree cycle-for-cycle on random
+// stimulus, for every benchmark.
+func TestSimNetlistEquivalence(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			c := MustLoad(name)
+			nl, err := synth.Synthesize(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bsim, err := sim.New(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ev, err := netlist.NewEvaluator(nl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(99))
+			ins := c.Inputs()
+			cycles := 300
+			for cyc := 0; cyc < cycles; cyc++ {
+				v := make(sim.Vector, len(ins))
+				for i, p := range ins {
+					v[i] = bitvec.New(rng.Uint64(), p.Width)
+				}
+				want, err := bsim.Step(v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				words, err := ev.Eval(synth.PackVector(c, v))
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := synth.UnpackVector(c, words, 0)
+				for j := range want {
+					if !got[j].Equal(want[j]) {
+						t.Fatalf("%s cycle %d output %d: netlist %v sim %v",
+							name, cyc, j, got[j], want[j])
+					}
+				}
+				ev.Clock()
+			}
+		})
+	}
+}
+
+func TestBenchmarksHaveMutationSites(t *testing.T) {
+	// The paper's experiments depend on each table circuit yielding
+	// mutants for the reported operators. CR requires constants: b01, b03
+	// declare them; c432/c499 have inline literals.
+	for _, name := range PaperBenchmarks() {
+		t.Run(name, func(t *testing.T) {
+			c := MustLoad(name)
+			counts := mutation.CountByOperator(mutation.Generate(c))
+			for _, op := range []mutation.Operator{mutation.VR, mutation.CVR, mutation.CR} {
+				if counts[op] == 0 {
+					t.Errorf("%s: no %s mutants", name, op)
+				}
+			}
+			if counts[mutation.LOR] == 0 && name != "c499" {
+				t.Errorf("%s: no LOR mutants", name)
+			}
+			total := 0
+			for _, n := range counts {
+				total += n
+			}
+			if total < 40 {
+				t.Errorf("%s: only %d mutants; too small for sampling experiments", name, total)
+			}
+			t.Logf("%s mutants: %v (total %d)", name, counts, total)
+		})
+	}
+}
+
+func TestBenchmarksHaveDetectableFaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			c := MustLoad(name)
+			nl, err := synth.Synthesize(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fs, err := faultsim.New(nl, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tests := make([]faultsim.Pattern, 256)
+			for i := range tests {
+				p := make(faultsim.Pattern, len(nl.PIs))
+				for j := range p {
+					p[j] = uint8(rng.Intn(2))
+				}
+				tests[i] = p
+			}
+			res, err := fs.Run(tests)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Coverage() < 0.3 {
+				t.Errorf("%s: random coverage %.2f suspiciously low", name, res.Coverage())
+			}
+			t.Logf("%s: %d faults, random-256 coverage %.1f%%",
+				name, len(res.Faults), 100*res.Coverage())
+		})
+	}
+}
+
+func TestUnknownCircuit(t *testing.T) {
+	if _, err := Load("nosuch"); err == nil {
+		t.Fatal("unknown circuit loaded")
+	}
+	if _, ok := Source("nosuch"); ok {
+		t.Fatal("unknown source found")
+	}
+}
+
+func TestMustLoadPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustLoad did not panic")
+		}
+	}()
+	MustLoad("nosuch")
+}
+
+func TestPaperBenchmarksAvailable(t *testing.T) {
+	for _, name := range PaperBenchmarks() {
+		if _, ok := Source(name); !ok {
+			t.Errorf("paper benchmark %s missing", name)
+		}
+	}
+}
+
+// TestB01Protocol sanity-checks the b01 analog's documented behavior.
+func TestB01Protocol(t *testing.T) {
+	c := MustLoad("b01")
+	s, err := sim.New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := func(l1, l2, rst uint64) sim.Vector {
+		out, err := s.Step(sim.Vector{bitvec.New(l1, 1), bitvec.New(l2, 1), bitvec.New(rst, 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	step(0, 0, 1) // reset
+	// Equal streams keep outp (registered) high from the following cycle.
+	step(1, 1, 0)
+	out := step(1, 1, 0)
+	if !out[0].IsTrue() {
+		t.Error("outp low while streams equal")
+	}
+	// 6 more equal cycles must trip overflw (CMAX=5 run length).
+	sawOverflow := false
+	for i := 0; i < 8; i++ {
+		out = step(0, 0, 0)
+		if out[1].IsTrue() {
+			sawOverflow = true
+		}
+	}
+	if !sawOverflow {
+		t.Error("overflw never pulsed on a long equal run")
+	}
+}
+
+// TestB03GrantsAreOneHot checks the arbiter's grant encoding.
+func TestB03GrantsAreOneHot(t *testing.T) {
+	c := MustLoad("b03")
+	s, _ := sim.New(c)
+	rng := rand.New(rand.NewSource(3))
+	s.Step(sim.Vector{bitvec.Zero(4), bitvec.New(1, 1)}) // reset
+	for i := 0; i < 200; i++ {
+		req := bitvec.New(rng.Uint64(), 4)
+		out, err := s.Step(sim.Vector{req, bitvec.Zero(1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g := out[0].PopCount(); g > 1 {
+			t.Fatalf("grant %v not one-hot", out[0])
+		}
+	}
+}
+
+// TestC499CorrectsSingleBitErrors injects every single-bit data error and
+// checks that the corrector restores the word.
+func TestC499CorrectsSingleBitErrors(t *testing.T) {
+	c := MustLoad("c499")
+	s, _ := sim.New(c)
+	rng := rand.New(rand.NewSource(11))
+
+	// checkBitsFor computes the encoder side: the check word a transmitter
+	// would attach to data (mirrors the circuit's syndrome equations).
+	checkBitsFor := func(d uint64) uint64 {
+		var chk uint64
+		for j := 0; j < 5; j++ {
+			var p uint64
+			for i := 0; i < 32; i++ {
+				if (i>>uint(j))&1 == 1 {
+					p ^= (d >> uint(i)) & 1
+				}
+			}
+			chk |= p << uint(j)
+		}
+		var all uint64
+		for i := 0; i < 32; i++ {
+			all ^= (d >> uint(i)) & 1
+		}
+		chk |= all << 5
+		return chk
+	}
+
+	for trial := 0; trial < 20; trial++ {
+		data := rng.Uint64() & 0xFFFFFFFF
+		chk := checkBitsFor(data)
+		// No error: q == d.
+		out, _ := s.Step(sim.Vector{bitvec.New(data, 32), bitvec.New(chk, 6)})
+		if out[0].Uint() != data {
+			t.Fatalf("clean word altered: q=%x want %x", out[0].Uint(), data)
+		}
+		// Single-bit error at a random position: corrected.
+		bit := rng.Intn(32)
+		corrupted := data ^ (1 << uint(bit))
+		out, _ = s.Step(sim.Vector{bitvec.New(corrupted, 32), bitvec.New(chk, 6)})
+		if out[0].Uint() != data {
+			t.Fatalf("bit %d not corrected: got %x want %x", bit, out[0].Uint(), data)
+		}
+	}
+}
+
+// TestC880ALUOps spot-checks the ALU against Go arithmetic.
+func TestC880ALUOps(t *testing.T) {
+	c := MustLoad("c880")
+	s, _ := sim.New(c)
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 200; trial++ {
+		a := rng.Uint64() & 0xFF
+		b := rng.Uint64() & 0xFF
+		op := uint64(rng.Intn(8))
+		cin := uint64(rng.Intn(2))
+		out, err := s.Step(sim.Vector{
+			bitvec.New(a, 8), bitvec.New(b, 8), bitvec.New(op, 3), bitvec.New(cin, 1),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want uint64
+		switch op {
+		case 0:
+			want = (a + b + cin) & 0xFF
+		case 1:
+			want = (a - b) & 0xFF
+		case 2:
+			want = a & b
+		case 3:
+			want = a | b
+		case 4:
+			want = a ^ b
+		case 5:
+			want = ^a & 0xFF
+		case 6:
+			want = (a << 1) & 0xFF
+		case 7:
+			want = a >> 1
+		}
+		if out[0].Uint() != want {
+			t.Fatalf("op %d a=%02x b=%02x cin=%d: y=%02x want %02x", op, a, b, cin, out[0].Uint(), want)
+		}
+		if out[2].IsTrue() != (want == 0) {
+			t.Fatalf("zero flag wrong for y=%02x", want)
+		}
+	}
+}
+
+// TestB04TracksMinMax drives a stream and checks the running extremes.
+func TestB04TracksMinMax(t *testing.T) {
+	c := MustLoad("b04")
+	s, _ := sim.New(c)
+	step := func(data, restart, reset uint64) sim.Vector {
+		out, err := s.Step(sim.Vector{
+			bitvec.New(data, 8), bitvec.New(restart, 1), bitvec.New(reset, 1),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	step(0, 0, 1)   // reset
+	step(42, 1, 0)  // restart: seed min=max=42
+	step(17, 0, 0)  // new min
+	step(200, 0, 0) // new max
+	out := step(100, 0, 0)
+	if out[0].Uint() != 17 || out[1].Uint() != 200 {
+		t.Fatalf("min/max = %d/%d, want 17/200", out[0].Uint(), out[1].Uint())
+	}
+	if out[2].Uint() != 183 {
+		t.Fatalf("spread = %d, want 183", out[2].Uint())
+	}
+}
+
+// TestC6288Multiplies verifies the array multiplier against Go arithmetic.
+func TestC6288Multiplies(t *testing.T) {
+	c := MustLoad("c6288")
+	s, _ := sim.New(c)
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 300; trial++ {
+		a := rng.Uint64() & 0xFF
+		b := rng.Uint64() & 0xFF
+		out, err := s.Step(sim.Vector{bitvec.New(a, 8), bitvec.New(b, 8)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[0].Uint() != a*b {
+			t.Fatalf("%d * %d = %d, want %d", a, b, out[0].Uint(), a*b)
+		}
+	}
+}
+
+func TestHDLFormatRoundTripAllCircuits(t *testing.T) {
+	for _, name := range Names() {
+		c := MustLoad(name)
+		src2 := hdl.Format(c)
+		if _, err := hdl.Parse(src2); err != nil {
+			t.Errorf("%s: formatted source does not re-parse: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,329 @@
+package faultsim
+
+import (
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+// buildMux constructs y = (a AND s) OR (b AND NOT s).
+func buildMux(t *testing.T) *netlist.Netlist {
+	t.Helper()
+	n := netlist.New("mux")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	s := n.AddInput("s")
+	ns := n.AddGate(netlist.Not, s)
+	t1 := n.AddGate(netlist.And, a, s)
+	t2 := n.AddGate(netlist.And, b, ns)
+	y := n.AddGate(netlist.Or, t1, t2)
+	n.MarkOutput(y, "y")
+	return n
+}
+
+func exhaustivePatterns(nPIs int) []Pattern {
+	out := make([]Pattern, 0, 1<<uint(nPIs))
+	for v := 0; v < 1<<uint(nPIs); v++ {
+		p := make(Pattern, nPIs)
+		for i := 0; i < nPIs; i++ {
+			p[i] = uint8((v >> uint(i)) & 1)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func TestFaultListCollapsing(t *testing.T) {
+	nl := buildMux(t)
+	fs := Faults(nl)
+	if len(fs) == 0 {
+		t.Fatal("empty fault list")
+	}
+	// Stems: 7 gates (3 PI + NOT + 2 AND + OR) x 2 = 14.
+	// Branches: only s fans out (to NOT and AND t1), so pins fed by s get
+	// branch faults except those equivalent to stems: NOT input faults are
+	// always dropped; AND keeps only s-a-1. Also a,b,ns,t1,t2 have fanout 1.
+	// So expected: 14 + 1 (t1/in-s s-a-1) = 15.
+	if len(fs) != 15 {
+		for _, f := range fs {
+			t.Logf("%s (site %+v)", f.Desc, f.Site)
+		}
+		t.Fatalf("collapsed fault count = %d, want 15", len(fs))
+	}
+}
+
+func TestExhaustiveDetectsAllMuxFaults(t *testing.T) {
+	nl := buildMux(t)
+	s, err := New(nl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(exhaustivePatterns(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every collapsed fault of an irredundant mux is detectable.
+	if got := res.Coverage(); got != 1.0 {
+		for _, f := range res.Undetected() {
+			t.Logf("undetected: %s", f.Desc)
+		}
+		t.Fatalf("exhaustive coverage = %v, want 1.0", got)
+	}
+}
+
+func TestSingleVectorCoverage(t *testing.T) {
+	nl := buildMux(t)
+	s, _ := New(nl, nil)
+	res, err := s.Run([]Pattern{{1, 0, 1}}) // a=1, b=0, s=1 -> y=1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coverage() <= 0 || res.Coverage() >= 1 {
+		t.Errorf("single vector coverage = %v, want partial", res.Coverage())
+	}
+	for i, d := range res.FirstDetected {
+		if d != -1 && d != 0 {
+			t.Errorf("fault %d first detected at %d with 1 pattern", i, d)
+		}
+	}
+}
+
+func TestCurveIsMonotone(t *testing.T) {
+	nl := buildMux(t)
+	s, _ := New(nl, nil)
+	res, err := s.Run(exhaustivePatterns(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve := res.Curve()
+	if len(curve) != 8 {
+		t.Fatalf("curve length = %d", len(curve))
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i] < curve[i-1] {
+			t.Fatalf("curve not monotone at %d: %v", i, curve)
+		}
+	}
+	if curve[len(curve)-1] != res.Coverage() {
+		t.Errorf("curve end %v != coverage %v", curve[len(curve)-1], res.Coverage())
+	}
+}
+
+func TestRedundantFaultUndetected(t *testing.T) {
+	// y = OR(a, CONST1) == 1 always; the OR output s-a-1 is undetectable,
+	// s-a-0 is detectable... actually y is constant 1 so s-a-0 IS
+	// detectable (y reads 0 instead of 1) and s-a-1 is not.
+	n := netlist.New("red")
+	a := n.AddInput("a")
+	c1 := n.AddGate(netlist.Const1)
+	y := n.AddGate(netlist.Or, a, c1)
+	n.MarkOutput(y, "y")
+	s, err := New(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(exhaustivePatterns(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coverage() == 1 {
+		t.Error("redundant circuit reports full coverage")
+	}
+	// The a-input faults can never propagate through OR with const-1.
+	found := false
+	for i, f := range res.Faults {
+		if f.Site.Gate == a && res.FirstDetected[i] == -1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("expected undetectable PI fault on blocked input")
+	}
+}
+
+func TestSequentialFaultDetection(t *testing.T) {
+	// Toggle FF: q' = q XOR en; q observed.
+	n := netlist.New("toggle")
+	en := n.AddInput("en")
+	q := n.AddDFF("q", 0)
+	d := n.AddGate(netlist.Xor, q, en)
+	n.SetDFFInput(q, d)
+	n.MarkOutput(q, "qo")
+	s, err := New(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sequence: enable for 3 cycles. Good q: 0,1,0. A q stuck-at-1 shows a
+	// difference at cycle 0 already.
+	res, err := s.Run([]Pattern{{1}, {1}, {1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coverage() == 0 {
+		t.Fatal("no sequential faults detected")
+	}
+	var saw bool
+	for i, f := range res.Faults {
+		if f.Site.Gate == q && f.Site.Pin == -1 && f.Site.Stuck == 1 {
+			saw = true
+			if res.FirstDetected[i] != 0 {
+				t.Errorf("q s-a-1 first detected at %d, want 0", res.FirstDetected[i])
+			}
+		}
+	}
+	if !saw {
+		t.Error("q s-a-1 not in fault list")
+	}
+}
+
+func TestSequentialFaultNeedsTime(t *testing.T) {
+	// Shift register of 2 DFFs: a fault at the input pin of the first FF
+	// needs 2 cycles to reach the output.
+	n := netlist.New("shift2")
+	d := n.AddInput("d")
+	f1 := n.AddDFF("f1", 0)
+	f2 := n.AddDFF("f2", 0)
+	buf := n.AddGate(netlist.Buf, d)
+	n.SetDFFInput(f1, buf)
+	mid := n.AddGate(netlist.Buf, f1)
+	n.SetDFFInput(f2, mid)
+	n.MarkOutput(f2, "q")
+	s, err := New(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive 1s; buf output s-a-0 flips f1 at cycle1, f2 at cycle2.
+	res, err := s.Run([]Pattern{{1}, {1}, {1}, {1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range res.Faults {
+		if f.Site.Gate == buf && f.Site.Pin == -1 && f.Site.Stuck == 0 {
+			if res.FirstDetected[i] != 2 {
+				t.Errorf("buf s-a-0 detected at cycle %d, want 2", res.FirstDetected[i])
+			}
+		}
+	}
+}
+
+func TestPatternLengthMismatch(t *testing.T) {
+	nl := buildMux(t)
+	s, _ := New(nl, nil)
+	if _, err := s.Run([]Pattern{{1, 0}}); err == nil {
+		t.Error("short pattern accepted")
+	}
+}
+
+func TestManyPatternsCrossBatchBoundary(t *testing.T) {
+	// >64 patterns exercises the multi-batch path; repeat the exhaustive
+	// set 10 times (80 patterns). First detections must all fall in the
+	// first 8 patterns.
+	nl := buildMux(t)
+	s, _ := New(nl, nil)
+	var tests []Pattern
+	for r := 0; r < 10; r++ {
+		tests = append(tests, exhaustivePatterns(3)...)
+	}
+	res, err := s.Run(tests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coverage() != 1 {
+		t.Fatalf("coverage = %v", res.Coverage())
+	}
+	for i, d := range res.FirstDetected {
+		if d >= 8 {
+			t.Errorf("fault %d first detected at %d, but set repeats with period 8", i, d)
+		}
+	}
+}
+
+// TestFirstDetectionIsAccurate re-simulates each fault's reported first
+// detecting pattern in isolation and checks (a) it really detects and
+// (b) no earlier pattern does.
+func TestFirstDetectionIsAccurate(t *testing.T) {
+	nl := buildMux(t)
+	s, _ := New(nl, nil)
+	tests := exhaustivePatterns(3)
+	res, err := s.Run(tests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, _ := netlist.NewEvaluator(nl)
+	bad, _ := netlist.NewEvaluator(nl)
+	detects := func(p Pattern, f Fault) bool {
+		words := make([]uint64, len(p))
+		for i, v := range p {
+			if v != 0 {
+				words[i] = ^uint64(0)
+			}
+		}
+		g, _ := good.Eval(words)
+		gc := append([]uint64(nil), g...)
+		b := bad.EvalWith(words, f.Site, ^uint64(0))
+		for po := range b {
+			if b[po] != gc[po] {
+				return true
+			}
+		}
+		return false
+	}
+	for fi, f := range res.Faults {
+		d := res.FirstDetected[fi]
+		if d < 0 {
+			continue
+		}
+		if !detects(tests[d], f) {
+			t.Fatalf("fault %s: pattern %d reported detecting but is not", f.Desc, d)
+		}
+		for k := 0; k < d; k++ {
+			if detects(tests[k], f) {
+				t.Fatalf("fault %s: pattern %d detects before reported first %d", f.Desc, k, d)
+			}
+		}
+	}
+}
+
+// TestParallelMatchesSerial pins the worker-pool fault simulation against
+// a GOMAXPROCS=1-equivalent run (the pool must not perturb results).
+func TestParallelMatchesSerial(t *testing.T) {
+	n := netlist.New("toggle")
+	en := n.AddInput("en")
+	q := n.AddDFF("q", 0)
+	d := n.AddGate(netlist.Xor, q, en)
+	n.SetDFFInput(q, d)
+	n.MarkOutput(q, "qo")
+
+	tests := []Pattern{{1}, {0}, {1}, {1}, {0}, {1}}
+	s1, _ := New(n, nil)
+	r1, err := s1.Run(tests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := New(n, nil)
+	r2, err := s2.Run(tests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.FirstDetected {
+		if r1.FirstDetected[i] != r2.FirstDetected[i] {
+			t.Fatalf("fault %d: detection cycle differs across runs (%d vs %d)",
+				i, r1.FirstDetected[i], r2.FirstDetected[i])
+		}
+	}
+}
+
+func TestResultAccessors(t *testing.T) {
+	nl := buildMux(t)
+	s, _ := New(nl, nil)
+	res, _ := s.Run(exhaustivePatterns(3))
+	if res.DetectedCount() != len(res.Faults) {
+		t.Errorf("DetectedCount %d != %d", res.DetectedCount(), len(res.Faults))
+	}
+	if len(res.Undetected()) != 0 {
+		t.Errorf("Undetected non-empty: %v", res.Undetected())
+	}
+	if len(s.Faults()) != len(res.Faults) {
+		t.Error("Faults() mismatch")
+	}
+}

@@ -1,0 +1,285 @@
+package faultsim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/netlist"
+)
+
+// Pattern is one gate-level test vector: a 0/1 value per primary input, in
+// netlist PI order.
+type Pattern []uint8
+
+// Result is the outcome of fault-simulating an ordered test set.
+type Result struct {
+	Faults []Fault
+	// FirstDetected[i] is the index (pattern index for combinational
+	// circuits, cycle index for sequential ones) at which fault i is first
+	// detected, or -1 if the test set never detects it.
+	FirstDetected []int
+	// Patterns is the number of applied patterns/cycles.
+	Patterns int
+}
+
+// DetectedCount returns the number of detected faults.
+func (r *Result) DetectedCount() int {
+	n := 0
+	for _, d := range r.FirstDetected {
+		if d >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Coverage returns detected/total in [0,1].
+func (r *Result) Coverage() float64 {
+	if len(r.Faults) == 0 {
+		return 0
+	}
+	return float64(r.DetectedCount()) / float64(len(r.Faults))
+}
+
+// Curve returns the fault coverage after each applied pattern: element k is
+// the coverage achieved by the first k+1 patterns.
+func (r *Result) Curve() []float64 {
+	counts := make([]int, r.Patterns)
+	for _, d := range r.FirstDetected {
+		if d >= 0 {
+			counts[d]++
+		}
+	}
+	curve := make([]float64, r.Patterns)
+	acc := 0
+	total := len(r.Faults)
+	for k := 0; k < r.Patterns; k++ {
+		acc += counts[k]
+		if total > 0 {
+			curve[k] = float64(acc) / float64(total)
+		}
+	}
+	return curve
+}
+
+// Undetected returns the faults the test set missed.
+func (r *Result) Undetected() []Fault {
+	var out []Fault
+	for i, d := range r.FirstDetected {
+		if d < 0 {
+			out = append(out, r.Faults[i])
+		}
+	}
+	return out
+}
+
+// Simulator runs stuck-at fault simulation against a fixed netlist and
+// collapsed fault list.
+type Simulator struct {
+	nl     *netlist.Netlist
+	faults []Fault
+	good   *netlist.Evaluator
+	bad    *netlist.Evaluator
+}
+
+// New builds a fault simulator. The fault list defaults to Faults(nl) when
+// faults is nil.
+func New(nl *netlist.Netlist, faults []Fault) (*Simulator, error) {
+	if faults == nil {
+		faults = Faults(nl)
+	}
+	good, err := netlist.NewEvaluator(nl)
+	if err != nil {
+		return nil, err
+	}
+	bad, err := netlist.NewEvaluator(nl)
+	if err != nil {
+		return nil, err
+	}
+	return &Simulator{nl: nl, faults: faults, good: good, bad: bad}, nil
+}
+
+// Faults returns the fault list under simulation.
+func (s *Simulator) Faults() []Fault { return s.faults }
+
+// Run fault-simulates the ordered test set and returns the first-detection
+// profile. Combinational circuits treat each pattern independently
+// (64-way pattern-parallel); sequential circuits treat the whole set as
+// one sequence applied from power-on reset (cycle-serial per fault, with
+// fault dropping at first detection).
+func (s *Simulator) Run(tests []Pattern) (*Result, error) {
+	for i, p := range tests {
+		if len(p) != len(s.nl.PIs) {
+			return nil, fmt.Errorf("faultsim: pattern %d has %d values for %d PIs", i, len(p), len(s.nl.PIs))
+		}
+	}
+	if s.nl.IsSequential() {
+		return s.runSequential(tests)
+	}
+	return s.runCombinational(tests)
+}
+
+const allLanes = ^uint64(0)
+
+func (s *Simulator) runCombinational(tests []Pattern) (*Result, error) {
+	res := &Result{
+		Faults:        s.faults,
+		FirstDetected: make([]int, len(s.faults)),
+		Patterns:      len(tests),
+	}
+	for i := range res.FirstDetected {
+		res.FirstDetected[i] = -1
+	}
+
+	nBatches := (len(tests) + 63) / 64
+	batchPIs := make([][]uint64, nBatches)
+	batchGood := make([][]uint64, nBatches)
+	for b := 0; b < nBatches; b++ {
+		lo := b * 64
+		hi := min(lo+64, len(tests))
+		words := make([]uint64, len(s.nl.PIs))
+		for pi := range words {
+			var w uint64
+			for lane, t := lo, 0; lane < hi; lane, t = lane+1, t+1 {
+				if tests[lane][pi] != 0 {
+					w |= 1 << uint(t)
+				}
+			}
+			words[pi] = w
+		}
+		batchPIs[b] = words
+		goodOut, err := s.good.Eval(words)
+		if err != nil {
+			return nil, err
+		}
+		batchGood[b] = append([]uint64(nil), goodOut...)
+	}
+
+	err := s.parallelFaults(func(ev *netlist.Evaluator, fi int) {
+	batches:
+		for b := 0; b < nBatches; b++ {
+			lo := b * 64
+			laneCount := min(64, len(tests)-lo)
+			laneMask := allLanes
+			if laneCount < 64 {
+				laneMask = (uint64(1) << uint(laneCount)) - 1
+			}
+			badOut := ev.EvalWith(batchPIs[b], s.faults[fi].Site, allLanes)
+			var diff uint64
+			for po := range badOut {
+				diff |= (badOut[po] ^ batchGood[b][po]) & laneMask
+			}
+			if diff != 0 {
+				res.FirstDetected[fi] = lo + lowestBit(diff)
+				break batches
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// parallelFaults runs fn once per fault index on a worker pool; each
+// worker owns a private evaluator, so fn must use only ev and fi.
+func (s *Simulator) parallelFaults(fn func(ev *netlist.Evaluator, fi int)) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(s.faults) {
+		workers = len(s.faults)
+	}
+	if workers <= 1 {
+		for fi := range s.faults {
+			fn(s.bad, fi)
+		}
+		return nil
+	}
+	evs := make([]*netlist.Evaluator, workers)
+	evs[0] = s.bad
+	for w := 1; w < workers; w++ {
+		ev, err := netlist.NewEvaluator(s.nl)
+		if err != nil {
+			return err
+		}
+		evs[w] = ev
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(ev *netlist.Evaluator) {
+			defer wg.Done()
+			for fi := range next {
+				fn(ev, fi)
+			}
+		}(evs[w])
+	}
+	for fi := range s.faults {
+		next <- fi
+	}
+	close(next)
+	wg.Wait()
+	return nil
+}
+
+func (s *Simulator) runSequential(tests []Pattern) (*Result, error) {
+	res := &Result{
+		Faults:        s.faults,
+		FirstDetected: make([]int, len(s.faults)),
+		Patterns:      len(tests),
+	}
+	for i := range res.FirstDetected {
+		res.FirstDetected[i] = -1
+	}
+
+	// Good-machine reference run.
+	goodPOs := make([][]uint64, len(tests))
+	s.good.Reset()
+	piWords := make([][]uint64, len(tests))
+	for cyc, p := range tests {
+		words := make([]uint64, len(s.nl.PIs))
+		for pi, v := range p {
+			if v != 0 {
+				words[pi] = allLanes
+			}
+		}
+		piWords[cyc] = words
+		out, err := s.good.Eval(words)
+		if err != nil {
+			return nil, err
+		}
+		goodPOs[cyc] = append([]uint64(nil), out...)
+		s.good.Clock()
+	}
+
+	err := s.parallelFaults(func(ev *netlist.Evaluator, fi int) {
+		f := s.faults[fi]
+		ev.Reset()
+		for cyc := range tests {
+			badOut := ev.EvalWith(piWords[cyc], f.Site, allLanes)
+			var diff uint64
+			for po := range badOut {
+				diff |= badOut[po] ^ goodPOs[cyc][po]
+			}
+			if diff != 0 {
+				res.FirstDetected[fi] = cyc
+				return
+			}
+			ev.ClockWith(f.Site, allLanes)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func lowestBit(w uint64) int {
+	for i := 0; i < 64; i++ {
+		if w&(1<<uint(i)) != 0 {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,245 @@
+package hdl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// tokenKind enumerates lexical token classes.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber // value in num; sized carries numWidth > 0
+	tokPunct  // one of the punctuation/operator strings
+	tokKeyword
+)
+
+var keywords = map[string]bool{
+	"circuit": true, "input": true, "output": true, "reg": true, "wire": true,
+	"const": true, "seq": true, "comb": true, "if": true, "else": true,
+	"case": true, "when": true, "default": true, "for": true, "in": true,
+	"bit": true, "bits": true,
+	"and": true, "or": true, "xor": true, "nand": true, "nor": true,
+	"xnor": true, "not": true, "rand": true, "ror": true, "rxor": true,
+}
+
+type token struct {
+	kind     tokenKind
+	text     string
+	num      uint64
+	numWidth int // >0 when the literal carried an explicit width
+	pos      Pos
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// Error is a parse or check error with a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (l *lexer) errorf(pos Pos, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peekByte() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for l.off < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.off+1 < len(l.src) && l.src[l.off+1] == '/':
+			for l.off < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.off+1 < len(l.src) && l.src[l.off+1] == '*':
+			pos := Pos{l.line, l.col}
+			l.advance()
+			l.advance()
+			for {
+				if l.off >= len(l.src) {
+					return l.errorf(pos, "unterminated block comment")
+				}
+				if l.peekByte() == '*' && l.off+1 < len(l.src) && l.src[l.off+1] == '/' {
+					l.advance()
+					l.advance()
+					break
+				}
+				l.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || ('0' <= c && c <= '9') }
+
+func isDigit(c byte) bool { return '0' <= c && c <= '9' }
+
+// multi-byte punctuation, longest first.
+var puncts = []string{
+	"==", "!=", "<=", ">=", "<<", ">>", "++", "..",
+	"{", "}", "(", ")", "[", "]", ":", ";", "=", ",", "+", "-", "*", "<", ">",
+}
+
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return token{}, err
+	}
+	pos := Pos{l.line, l.col}
+	if l.off >= len(l.src) {
+		return token{kind: tokEOF, pos: pos}, nil
+	}
+	c := l.peekByte()
+	switch {
+	case isIdentStart(c):
+		start := l.off
+		for l.off < len(l.src) && isIdentPart(l.peekByte()) {
+			l.advance()
+		}
+		text := l.src[start:l.off]
+		kind := tokIdent
+		if keywords[text] {
+			kind = tokKeyword
+		}
+		return token{kind: kind, text: text, pos: pos}, nil
+	case isDigit(c):
+		return l.lexNumber(pos)
+	}
+	for _, p := range puncts {
+		if strings.HasPrefix(l.src[l.off:], p) {
+			for range p {
+				l.advance()
+			}
+			return token{kind: tokPunct, text: p, pos: pos}, nil
+		}
+	}
+	return token{}, l.errorf(pos, "unexpected character %q", string(c))
+}
+
+// lexNumber handles: decimal (123), 0b/0x prefixed, and Verilog-style sized
+// literals N'bXXX / N'dNNN / N'hXX.
+func (l *lexer) lexNumber(pos Pos) (token, error) {
+	start := l.off
+	for l.off < len(l.src) && isDigit(l.peekByte()) {
+		l.advance()
+	}
+	dec := l.src[start:l.off]
+
+	// Sized literal: width'<base>digits
+	if l.peekByte() == '\'' {
+		width, err := strconv.Atoi(dec)
+		if err != nil || width < 1 || width > 64 {
+			return token{}, l.errorf(pos, "bad literal width %q", dec)
+		}
+		l.advance() // consume '
+		if l.off >= len(l.src) {
+			return token{}, l.errorf(pos, "unterminated sized literal")
+		}
+		base := l.advance()
+		var radix int
+		switch base {
+		case 'b':
+			radix = 2
+		case 'd':
+			radix = 10
+		case 'h', 'x':
+			radix = 16
+		default:
+			return token{}, l.errorf(pos, "bad literal base %q", string(base))
+		}
+		dstart := l.off
+		for l.off < len(l.src) && (isIdentPart(l.peekByte()) || l.peekByte() == '_') {
+			l.advance()
+		}
+		digits := strings.ReplaceAll(l.src[dstart:l.off], "_", "")
+		v, err := strconv.ParseUint(digits, radix, 64)
+		if err != nil {
+			return token{}, l.errorf(pos, "bad literal digits %q: %v", digits, err)
+		}
+		if width < 64 && v >= 1<<uint(width) {
+			return token{}, l.errorf(pos, "literal value %d does not fit in %d bits", v, width)
+		}
+		return token{kind: tokNumber, text: l.src[start:l.off], num: v, numWidth: width, pos: pos}, nil
+	}
+
+	// 0b / 0x prefixes.
+	if dec == "0" && (l.peekByte() == 'b' || l.peekByte() == 'x') {
+		base := l.advance()
+		radix := 2
+		if base == 'x' {
+			radix = 16
+		}
+		dstart := l.off
+		for l.off < len(l.src) && (isIdentPart(l.peekByte()) || l.peekByte() == '_') {
+			l.advance()
+		}
+		digits := strings.ReplaceAll(l.src[dstart:l.off], "_", "")
+		v, err := strconv.ParseUint(digits, radix, 64)
+		if err != nil {
+			return token{}, l.errorf(pos, "bad literal digits %q: %v", digits, err)
+		}
+		// 0b literals carry their digit count as width, like VHDL bit strings.
+		width := 0
+		if radix == 2 {
+			width = len(digits)
+		} else {
+			width = 4 * len(digits)
+		}
+		if width > 64 {
+			return token{}, l.errorf(pos, "literal wider than 64 bits")
+		}
+		return token{kind: tokNumber, text: l.src[start:l.off], num: v, numWidth: width, pos: pos}, nil
+	}
+
+	v, err := strconv.ParseUint(dec, 10, 64)
+	if err != nil {
+		return token{}, l.errorf(pos, "bad number %q: %v", dec, err)
+	}
+	return token{kind: tokNumber, text: dec, num: v, pos: pos}, nil
+}

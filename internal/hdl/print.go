@@ -1,0 +1,156 @@
+package hdl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders a circuit back to parseable MHDL source. The output
+// round-trips: Parse(Format(c)) yields a structurally identical circuit.
+// Mutant diffs shown to users are produced by formatting original and
+// mutant and diffing the lines.
+func Format(c *Circuit) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "circuit %s {\n", c.Name)
+	for _, p := range c.Ports {
+		fmt.Fprintf(&sb, "  %s %s : %s;\n", p.Dir, p.Name, typeName(p.Width))
+	}
+	for _, r := range c.Regs {
+		if r.Init.IsZero() {
+			fmt.Fprintf(&sb, "  reg %s : %s;\n", r.Name, typeName(r.Width))
+		} else {
+			fmt.Fprintf(&sb, "  reg %s : %s = %d'd%d;\n", r.Name, typeName(r.Width), r.Width, r.Init.Uint())
+		}
+	}
+	for _, w := range c.Wires {
+		fmt.Fprintf(&sb, "  wire %s : %s;\n", w.Name, typeName(w.Width))
+	}
+	for _, k := range c.Consts {
+		fmt.Fprintf(&sb, "  const %s : %s = %d'd%d;\n", k.Name, typeName(k.Width), k.Width, k.Value.Uint())
+	}
+	for _, b := range c.Blocks {
+		fmt.Fprintf(&sb, "  %s {\n", b.Kind)
+		printStmts(&sb, b.Stmts, 2)
+		sb.WriteString("  }\n")
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func typeName(w int) string {
+	if w == 1 {
+		return "bit"
+	}
+	return fmt.Sprintf("bits(%d)", w)
+}
+
+func printStmts(sb *strings.Builder, ss []Stmt, depth int) {
+	for _, s := range ss {
+		printStmt(sb, s, depth)
+	}
+}
+
+func indent(sb *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		sb.WriteString("  ")
+	}
+}
+
+func printStmt(sb *strings.Builder, s Stmt, depth int) {
+	indent(sb, depth)
+	switch s := s.(type) {
+	case *Assign:
+		sb.WriteString(s.LHS.Name)
+		if s.LHS.Index != nil {
+			sb.WriteByte('[')
+			sb.WriteString(FormatExpr(s.LHS.Index))
+			sb.WriteByte(']')
+		}
+		sb.WriteString(" = ")
+		sb.WriteString(FormatExpr(s.RHS))
+		sb.WriteString(";\n")
+	case *If:
+		fmt.Fprintf(sb, "if %s {\n", FormatExpr(s.Cond))
+		printStmts(sb, s.Then, depth+1)
+		indent(sb, depth)
+		if len(s.Else) > 0 {
+			sb.WriteString("} else {\n")
+			printStmts(sb, s.Else, depth+1)
+			indent(sb, depth)
+		}
+		sb.WriteString("}\n")
+	case *Case:
+		fmt.Fprintf(sb, "case %s {\n", FormatExpr(s.Subject))
+		for _, arm := range s.Arms {
+			indent(sb, depth+1)
+			sb.WriteString("when ")
+			for i, l := range arm.Labels {
+				if i > 0 {
+					sb.WriteString(", ")
+				}
+				sb.WriteString(FormatExpr(l))
+			}
+			sb.WriteString(": {\n")
+			printStmts(sb, arm.Body, depth+2)
+			indent(sb, depth+1)
+			sb.WriteString("}\n")
+		}
+		if s.Default != nil {
+			indent(sb, depth+1)
+			sb.WriteString("default: {\n")
+			printStmts(sb, s.Default, depth+2)
+			indent(sb, depth+1)
+			sb.WriteString("}\n")
+		}
+		indent(sb, depth)
+		sb.WriteString("}\n")
+	case *For:
+		fmt.Fprintf(sb, "for %s in %d .. %d {\n", s.Var, s.Lo, s.Hi)
+		printStmts(sb, s.Body, depth+1)
+		indent(sb, depth)
+		sb.WriteString("}\n")
+	}
+}
+
+// FormatExpr renders an expression to parseable source. Subexpressions are
+// parenthesized conservatively, so output precedence never depends on the
+// printing context.
+func FormatExpr(e Expr) string {
+	switch e := e.(type) {
+	case *Lit:
+		if e.Sized || e.Width > 0 {
+			w := e.Width
+			if w == 0 {
+				w = naturalWidth(e.Raw)
+			}
+			return fmt.Sprintf("%d'd%d", w, e.Raw)
+		}
+		return fmt.Sprintf("%d", e.Raw)
+	case *Ref:
+		return e.Name
+	case *Index:
+		return fmt.Sprintf("%s[%s]", formatPostfixBase(e.X), FormatExpr(e.I))
+	case *SliceExpr:
+		return fmt.Sprintf("%s[%d:%d]", formatPostfixBase(e.X), e.Hi, e.Lo)
+	case *Unary:
+		if e.Op == OpNeg {
+			return fmt.Sprintf("-(%s)", FormatExpr(e.X))
+		}
+		return fmt.Sprintf("%s (%s)", e.Op, FormatExpr(e.X))
+	case *Binary:
+		return fmt.Sprintf("(%s %s %s)", FormatExpr(e.X), e.Op, FormatExpr(e.Y))
+	default:
+		return fmt.Sprintf("<%T>", e)
+	}
+}
+
+// formatPostfixBase wraps non-primary expressions in parens so that
+// indexing binds to the intended operand when re-parsed.
+func formatPostfixBase(e Expr) string {
+	switch e.(type) {
+	case *Ref, *Index, *SliceExpr:
+		return FormatExpr(e)
+	default:
+		return "(" + FormatExpr(e) + ")"
+	}
+}

@@ -1,0 +1,458 @@
+package mutation
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/hdl"
+)
+
+// Mutant is one faulty version of a circuit.
+type Mutant struct {
+	ID      int          // position in the deterministic enumeration
+	Op      Operator     // operator that produced it
+	Desc    string       // human-readable site/change description
+	Circuit *hdl.Circuit // mutated clone, checked in relaxed mode
+}
+
+// siteKind enumerates the mechanical change a site descriptor encodes.
+type siteKind int
+
+const (
+	kindBinOp      siteKind = iota // replace a Binary's operator
+	kindSwapIf                     // swap an If's branches (CNR)
+	kindWrapNot                    // wrap a Ref in not (UOI)
+	kindDeleteStmt                 // delete an Assign (SDL)
+	kindRefToRef                   // replace a Ref's target (VR)
+	kindRefToLit                   // replace a Ref with a literal (CVR)
+	kindLitValue                   // change a Lit's value (CR)
+	kindConstDecl                  // change a const declaration's value (CR)
+)
+
+// site is one (location, variant) pair found by enumeration.
+type site struct {
+	op       Operator
+	kind     siteKind
+	stmtOrd  int // matching ordinal in the deterministic statement walk
+	exprOrd  int // matching ordinal in the deterministic expression walk
+	declIdx  int // for kindConstDecl
+	newBinOp hdl.BinOp
+	newName  string
+	newVal   bitvec.BV
+	desc     string
+}
+
+// Generate enumerates and constructs all mutants of c for the given
+// operators (all ten if none are given). Mutants that fail the relaxed
+// semantic re-check (stillborn) are discarded. The input circuit must have
+// passed hdl.Check; it is never modified.
+func Generate(c *hdl.Circuit, ops ...Operator) []*Mutant {
+	if len(ops) == 0 {
+		ops = AllOperators()
+	}
+	enabled := make(map[Operator]bool, len(ops))
+	for _, op := range ops {
+		if !op.Valid() {
+			panic(fmt.Sprintf("mutation: invalid operator %q", op))
+		}
+		enabled[op] = true
+	}
+	sites := enumerate(c, enabled)
+	mutants := make([]*Mutant, 0, len(sites))
+	for _, st := range sites {
+		mc := apply(c, st)
+		if mc == nil {
+			continue
+		}
+		if err := hdl.Check(mc, hdl.Relaxed); err != nil {
+			continue // stillborn: syntactically produced but semantically dead
+		}
+		mutants = append(mutants, &Mutant{
+			ID:      len(mutants),
+			Op:      st.op,
+			Desc:    st.desc,
+			Circuit: mc,
+		})
+	}
+	return mutants
+}
+
+// CountByOperator tallies a mutant population per operator.
+func CountByOperator(ms []*Mutant) map[Operator]int {
+	out := make(map[Operator]int)
+	for _, m := range ms {
+		out[m.Op]++
+	}
+	return out
+}
+
+// ByOperator partitions a mutant population per operator, preserving
+// enumeration order within each class.
+func ByOperator(ms []*Mutant) map[Operator][]*Mutant {
+	out := make(map[Operator][]*Mutant)
+	for _, m := range ms {
+		out[m.Op] = append(out[m.Op], m)
+	}
+	return out
+}
+
+// --- enumeration -------------------------------------------------------------
+
+// logicalAlts lists the LOR substitution class.
+var logicalAlts = []hdl.BinOp{hdl.OpAnd, hdl.OpOr, hdl.OpXor, hdl.OpNand, hdl.OpNor, hdl.OpXnor}
+
+// relationalAlts lists the ROR substitution class.
+var relationalAlts = []hdl.BinOp{hdl.OpEq, hdl.OpNe, hdl.OpLt, hdl.OpLe, hdl.OpGt, hdl.OpGe}
+
+// arithmeticAlts lists the AOR substitution class.
+var arithmeticAlts = []hdl.BinOp{hdl.OpAdd, hdl.OpSub, hdl.OpMul}
+
+func enumerate(c *hdl.Circuit, enabled map[Operator]bool) []site {
+	var sites []site
+	varWidths := variableCandidates(c)
+
+	w := &mutWalker{
+		onStmt: func(s hdl.Stmt, ord int) stmtAction {
+			switch s := s.(type) {
+			case *hdl.Assign:
+				if enabled[SDL] {
+					sites = append(sites, site{
+						op: SDL, kind: kindDeleteStmt, stmtOrd: ord, exprOrd: -1,
+						desc: fmt.Sprintf("%s: delete assignment to %s", s.Pos, s.LHS.Name),
+					})
+				}
+			case *hdl.If:
+				if enabled[CNR] {
+					sites = append(sites, site{
+						op: CNR, kind: kindSwapIf, stmtOrd: ord, exprOrd: -1,
+						desc: fmt.Sprintf("%s: negate condition %s", s.Pos, hdl.FormatExpr(s.Cond)),
+					})
+				}
+			}
+			return keepStmt
+		},
+		onExpr: func(ep *hdl.Expr, ord int, inLabel bool) {
+			e := *ep
+			switch e := e.(type) {
+			case *hdl.Binary:
+				var op Operator
+				var alts []hdl.BinOp
+				switch {
+				case e.Op.IsLogical():
+					op, alts = LOR, logicalAlts
+				case e.Op.IsRelational():
+					op, alts = ROR, relationalAlts
+				case e.Op.IsArithmetic():
+					op, alts = AOR, arithmeticAlts
+				case e.Op.IsShift():
+					op = SOR
+					if e.Op == hdl.OpShl {
+						alts = []hdl.BinOp{hdl.OpShr}
+					} else {
+						alts = []hdl.BinOp{hdl.OpShl}
+					}
+				default:
+					return
+				}
+				if !enabled[op] {
+					return
+				}
+				for _, alt := range alts {
+					if alt == e.Op {
+						continue
+					}
+					sites = append(sites, site{
+						op: op, kind: kindBinOp, stmtOrd: -1, exprOrd: ord, newBinOp: alt,
+						desc: fmt.Sprintf("%s: %s -> %s", e.Pos, e.Op, alt),
+					})
+				}
+			case *hdl.Ref:
+				if inLabel {
+					return // labels must stay constant
+				}
+				w := c.SignalWidth(e.Name)
+				if w == 0 {
+					return // loop variable
+				}
+				isConst := c.ConstByName(e.Name) != nil
+				if isConst {
+					return // const reads are CR territory (via declaration sites)
+				}
+				if enabled[UOI] {
+					sites = append(sites, site{
+						op: UOI, kind: kindWrapNot, stmtOrd: -1, exprOrd: ord,
+						desc: fmt.Sprintf("%s: %s -> not %s", e.Pos, e.Name, e.Name),
+					})
+				}
+				if enabled[VR] {
+					for _, cand := range varWidths[w] {
+						if cand == e.Name {
+							continue
+						}
+						sites = append(sites, site{
+							op: VR, kind: kindRefToRef, stmtOrd: -1, exprOrd: ord, newName: cand,
+							desc: fmt.Sprintf("%s: %s -> %s", e.Pos, e.Name, cand),
+						})
+					}
+				}
+				if enabled[CVR] {
+					for _, v := range cvrVariants(c, w) {
+						sites = append(sites, site{
+							op: CVR, kind: kindRefToLit, stmtOrd: -1, exprOrd: ord, newVal: v,
+							desc: fmt.Sprintf("%s: %s -> %s", e.Pos, e.Name, v),
+						})
+					}
+				}
+			case *hdl.Lit:
+				if !enabled[CR] || e.Width == 0 {
+					return
+				}
+				for _, v := range constantVariants(e.Width, &e.Val) {
+					sites = append(sites, site{
+						op: CR, kind: kindLitValue, stmtOrd: -1, exprOrd: ord, newVal: v,
+						desc: fmt.Sprintf("%s: %s -> %s", e.Pos, e.Val, v),
+					})
+				}
+			}
+		},
+	}
+	w.walk(c)
+
+	if enabled[CR] {
+		for i, k := range c.Consts {
+			for _, v := range constantVariants(k.Width, &k.Value) {
+				sites = append(sites, site{
+					op: CR, kind: kindConstDecl, stmtOrd: -1, exprOrd: -1, declIdx: i, newVal: v,
+					desc: fmt.Sprintf("%s: const %s %s -> %s", k.Pos, k.Name, k.Value, v),
+				})
+			}
+		}
+	}
+	return sites
+}
+
+// variableCandidates maps width -> names of replaceable signals (inputs,
+// registers and wires) for the VR operator.
+func variableCandidates(c *hdl.Circuit) map[int][]string {
+	out := make(map[int][]string)
+	for _, p := range c.Ports {
+		if p.Dir == hdl.Input {
+			out[p.Width] = append(out[p.Width], p.Name)
+		}
+	}
+	for _, r := range c.Regs {
+		out[r.Width] = append(out[r.Width], r.Name)
+	}
+	for _, w := range c.Wires {
+		out[w.Width] = append(out[w.Width], w.Name)
+	}
+	return out
+}
+
+// constantVariants returns the CR constant set for a literal or constant
+// declaration of the given width: zero, all-ones, one, the bitwise
+// complement, and value±1 — excluding the original value. For widths up to
+// exhaustiveCRWidth every other value of the domain is enumerated instead,
+// which matches the domain-exhaustive constant mutation of VHDL mutation
+// tools and makes CR classes value-rich.
+const exhaustiveCRWidth = 4
+
+func constantVariants(width int, orig *bitvec.BV) []bitvec.BV {
+	var cands []bitvec.BV
+	if width <= exhaustiveCRWidth {
+		for v := uint64(0); v < 1<<uint(width); v++ {
+			cands = append(cands, bitvec.New(v, width))
+		}
+	} else {
+		cands = append(cands, bitvec.Zero(width), bitvec.Ones(width), bitvec.New(1, width))
+		if orig != nil {
+			cands = append(cands,
+				orig.Add(bitvec.New(1, width)),
+				orig.Sub(bitvec.New(1, width)),
+				orig.Not())
+		}
+	}
+	return dedupExcluding(cands, orig)
+}
+
+// cvrVariants returns the CVR constant set for a variable of the given
+// width: the domain corners (zero, one, all-ones) plus the value of every
+// declared constant of matching width — the "constants of the description"
+// a VHDL CVR operator substitutes.
+func cvrVariants(c *hdl.Circuit, width int) []bitvec.BV {
+	cands := []bitvec.BV{bitvec.Zero(width), bitvec.Ones(width), bitvec.New(1, width)}
+	for _, k := range c.Consts {
+		if k.Width == width {
+			cands = append(cands, k.Value)
+		}
+	}
+	return dedupExcluding(cands, nil)
+}
+
+func dedupExcluding(cands []bitvec.BV, orig *bitvec.BV) []bitvec.BV {
+	var out []bitvec.BV
+	seen := make(map[uint64]bool)
+	for _, v := range cands {
+		if orig != nil && v.Equal(*orig) {
+			continue
+		}
+		if seen[v.Uint()] {
+			continue
+		}
+		seen[v.Uint()] = true
+		out = append(out, v)
+	}
+	return out
+}
+
+// --- application -------------------------------------------------------------
+
+// apply clones c and performs the change st describes. It returns nil if
+// the site was not found (which would indicate a walker mismatch and is
+// asserted against in tests).
+func apply(c *hdl.Circuit, st site) *hdl.Circuit {
+	mc := c.Clone()
+	if st.kind == kindConstDecl {
+		mc.Consts[st.declIdx].Value = st.newVal
+		return mc
+	}
+	done := false
+	w := &mutWalker{
+		onStmt: func(s hdl.Stmt, ord int) stmtAction {
+			if done || ord != st.stmtOrd {
+				return keepStmt
+			}
+			switch st.kind {
+			case kindDeleteStmt:
+				done = true
+				return deleteStmt
+			case kindSwapIf:
+				ifs := s.(*hdl.If)
+				ifs.Then, ifs.Else = ifs.Else, ifs.Then
+				done = true
+			}
+			return keepStmt
+		},
+		onExpr: func(ep *hdl.Expr, ord int, inLabel bool) {
+			if done || ord != st.exprOrd {
+				return
+			}
+			switch st.kind {
+			case kindBinOp:
+				(*ep).(*hdl.Binary).Op = st.newBinOp
+			case kindWrapNot:
+				ref := (*ep).(*hdl.Ref)
+				*ep = &hdl.Unary{Op: hdl.OpNot, X: ref, Width: ref.Width, Pos: ref.Pos}
+			case kindRefToRef:
+				ref := (*ep).(*hdl.Ref)
+				ref.Name = st.newName
+			case kindRefToLit:
+				ref := (*ep).(*hdl.Ref)
+				*ep = &hdl.Lit{
+					Val: st.newVal, Raw: st.newVal.Uint(), Sized: true,
+					Width: st.newVal.Width(), Pos: ref.Pos,
+				}
+			case kindLitValue:
+				lit := (*ep).(*hdl.Lit)
+				lit.Val = st.newVal
+				lit.Raw = st.newVal.Uint()
+				lit.Sized = true
+			}
+			done = true
+		},
+	}
+	w.walk(mc)
+	if !done {
+		return nil
+	}
+	return mc
+}
+
+// --- deterministic walker ----------------------------------------------------
+
+// stmtAction tells the walker what to do with the statement just visited.
+type stmtAction int
+
+const (
+	keepStmt stmtAction = iota
+	deleteStmt
+)
+
+// mutWalker visits statements and expressions in exactly the order of
+// hdl.Walk, assigning each a stable ordinal, and additionally exposes
+// pointer access so visitors can rewrite expressions and delete statements
+// in place.
+type mutWalker struct {
+	stmtN  int
+	exprN  int
+	onStmt func(s hdl.Stmt, ord int) stmtAction
+	onExpr func(ep *hdl.Expr, ord int, inLabel bool)
+}
+
+func (w *mutWalker) walk(c *hdl.Circuit) {
+	for _, b := range c.Blocks {
+		b.Stmts = w.stmts(b.Stmts)
+	}
+}
+
+func (w *mutWalker) stmts(ss []hdl.Stmt) []hdl.Stmt {
+	out := ss[:0]
+	for _, s := range ss {
+		ord := w.stmtN
+		w.stmtN++
+		act := keepStmt
+		if w.onStmt != nil {
+			act = w.onStmt(s, ord)
+		}
+		w.children(s)
+		if act != deleteStmt {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func (w *mutWalker) children(s hdl.Stmt) {
+	switch s := s.(type) {
+	case *hdl.Assign:
+		if s.LHS.Index != nil {
+			w.expr(&s.LHS.Index, false)
+		}
+		w.expr(&s.RHS, false)
+	case *hdl.If:
+		w.expr(&s.Cond, false)
+		s.Then = w.stmts(s.Then)
+		s.Else = w.stmts(s.Else)
+	case *hdl.Case:
+		w.expr(&s.Subject, false)
+		for _, arm := range s.Arms {
+			for i := range arm.Labels {
+				w.expr(&arm.Labels[i], true)
+			}
+			arm.Body = w.stmts(arm.Body)
+		}
+		s.Default = w.stmts(s.Default)
+	case *hdl.For:
+		s.Body = w.stmts(s.Body)
+	}
+}
+
+func (w *mutWalker) expr(ep *hdl.Expr, inLabel bool) {
+	ord := w.exprN
+	w.exprN++
+	if w.onExpr != nil {
+		w.onExpr(ep, ord, inLabel)
+	}
+	switch e := (*ep).(type) {
+	case *hdl.Index:
+		w.expr(&e.X, inLabel)
+		w.expr(&e.I, inLabel)
+	case *hdl.SliceExpr:
+		w.expr(&e.X, inLabel)
+	case *hdl.Unary:
+		w.expr(&e.X, inLabel)
+	case *hdl.Binary:
+		w.expr(&e.X, inLabel)
+		w.expr(&e.Y, inLabel)
+	}
+}

@@ -1,0 +1,286 @@
+package mutation
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/hdl"
+	"repro/internal/sim"
+)
+
+const testSrc = `
+circuit small {
+  input a : bits(4);
+  input b : bits(4);
+  input sel : bit;
+  output o : bits(4);
+  output flag : bit;
+  reg acc : bits(4);
+  const STEP : bits(4) = 4'd3;
+  seq {
+    if sel == 1 {
+      acc = acc + STEP;
+    } else {
+      acc = a and b;
+    }
+  }
+  comb {
+    o = acc;
+    flag = acc > 4'd9;
+  }
+}
+`
+
+func parse(t *testing.T, src string) *hdl.Circuit {
+	t.Helper()
+	c, err := hdl.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestGenerateProducesAllOperatorClasses(t *testing.T) {
+	c := parse(t, testSrc)
+	ms := Generate(c)
+	counts := CountByOperator(ms)
+	// Every class with an applicable site must be present.
+	for _, op := range []Operator{LOR, ROR, AOR, CNR, UOI, SDL, VR, CVR, CR} {
+		if counts[op] == 0 {
+			t.Errorf("no %s mutants generated; counts = %v", op, counts)
+		}
+	}
+	if counts[SOR] != 0 {
+		t.Errorf("SOR mutants generated for a circuit without shifts")
+	}
+}
+
+func TestGenerateIsDeterministic(t *testing.T) {
+	c := parse(t, testSrc)
+	a := Generate(c)
+	b := Generate(c)
+	if len(a) != len(b) {
+		t.Fatalf("mutant counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Op != b[i].Op || a[i].Desc != b[i].Desc {
+			t.Fatalf("mutant %d differs: %v vs %v", i, a[i].Desc, b[i].Desc)
+		}
+		if hdl.Format(a[i].Circuit) != hdl.Format(b[i].Circuit) {
+			t.Fatalf("mutant %d source differs", i)
+		}
+	}
+}
+
+func TestGenerateDoesNotModifyOriginal(t *testing.T) {
+	c := parse(t, testSrc)
+	before := hdl.Format(c)
+	Generate(c)
+	if after := hdl.Format(c); after != before {
+		t.Fatalf("original modified:\n%s\nvs\n%s", before, after)
+	}
+}
+
+func TestEachMutantDiffersFromOriginalByOneChange(t *testing.T) {
+	c := parse(t, testSrc)
+	orig := strings.Split(hdl.Format(c), "\n")
+	for _, m := range Generate(c) {
+		mut := strings.Split(hdl.Format(m.Circuit), "\n")
+		diffs := 0
+		if len(orig) == len(mut) {
+			for i := range orig {
+				if orig[i] != mut[i] {
+					diffs++
+				}
+			}
+			// SDL removes a line, handled below; in-place edits touch 1 line.
+			if diffs == 0 {
+				t.Errorf("mutant %d (%s %s) is textually identical to original", m.ID, m.Op, m.Desc)
+			}
+			if diffs > 1 && m.Op != CNR { // CNR swaps two branch bodies
+				t.Errorf("mutant %d (%s %s) changed %d lines", m.ID, m.Op, m.Desc, diffs)
+			}
+		} else if m.Op != SDL && m.Op != CNR {
+			t.Errorf("mutant %d (%s) changed line count %d -> %d", m.ID, m.Op, len(orig), len(mut))
+		}
+	}
+}
+
+func TestMutantsAreSimulable(t *testing.T) {
+	c := parse(t, testSrc)
+	in := sim.Vector{bitvec.New(5, 4), bitvec.New(3, 4), bitvec.New(1, 1)}
+	for _, m := range Generate(c) {
+		s, err := sim.New(m.Circuit)
+		if err != nil {
+			t.Fatalf("mutant %d (%s): simulator: %v", m.ID, m.Op, err)
+		}
+		if _, err := s.Step(in); err != nil {
+			t.Fatalf("mutant %d (%s): step: %v", m.ID, m.Op, err)
+		}
+	}
+}
+
+func TestSomeMutantIsBehaviorallyDifferent(t *testing.T) {
+	c := parse(t, testSrc)
+	ref, _ := sim.New(c)
+	seq := sim.Sequence{
+		{bitvec.New(5, 4), bitvec.New(3, 4), bitvec.New(0, 1)},
+		{bitvec.New(9, 4), bitvec.New(6, 4), bitvec.New(1, 1)},
+		{bitvec.New(1, 4), bitvec.New(2, 4), bitvec.New(1, 1)},
+	}
+	want, err := ref.Run(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	killed := 0
+	ms := Generate(c)
+	for _, m := range ms {
+		s, err := sim.New(m.Circuit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.Run(seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cyc := range got {
+			for j := range got[cyc] {
+				if !got[cyc][j].Equal(want[cyc][j]) {
+					killed++
+					cyc = len(got)
+					break
+				}
+			}
+		}
+	}
+	if killed == 0 {
+		t.Fatal("no mutant distinguishable by a 3-cycle sequence; engine broken")
+	}
+	t.Logf("%d/%d mutants killed by smoke sequence", killed, len(ms))
+}
+
+func TestOperatorFiltering(t *testing.T) {
+	c := parse(t, testSrc)
+	ms := Generate(c, CR)
+	for _, m := range ms {
+		if m.Op != CR {
+			t.Fatalf("filtered generation returned %s mutant", m.Op)
+		}
+	}
+	if len(ms) == 0 {
+		t.Fatal("no CR mutants")
+	}
+}
+
+func TestCRCoversConstDeclAndLiterals(t *testing.T) {
+	c := parse(t, testSrc)
+	ms := Generate(c, CR)
+	declHits, litHits := 0, 0
+	for _, m := range ms {
+		if strings.Contains(m.Desc, "const STEP") {
+			declHits++
+		} else {
+			litHits++
+		}
+	}
+	if declHits == 0 {
+		t.Error("CR never mutated the const declaration")
+	}
+	if litHits == 0 {
+		t.Error("CR never mutated an inline literal")
+	}
+}
+
+func TestVRRespectsWidths(t *testing.T) {
+	c := parse(t, testSrc)
+	for _, m := range Generate(c, VR) {
+		if err := hdl.Check(m.Circuit, hdl.Relaxed); err != nil {
+			t.Fatalf("VR mutant fails checking: %v (%s)", err, m.Desc)
+		}
+	}
+}
+
+func TestCNRSwapsBranches(t *testing.T) {
+	c := parse(t, testSrc)
+	ms := Generate(c, CNR)
+	if len(ms) != 1 {
+		t.Fatalf("want 1 CNR mutant for 1 if, got %d", len(ms))
+	}
+	// In the mutant, the then-branch must contain the original else body.
+	var mutIf *hdl.If
+	hdl.Walk(ms[0].Circuit, hdl.Visitor{Stmt: func(s hdl.Stmt) {
+		if f, ok := s.(*hdl.If); ok {
+			mutIf = f
+		}
+	}})
+	if mutIf == nil {
+		t.Fatal("no if in CNR mutant")
+	}
+	a := mutIf.Then[0].(*hdl.Assign)
+	if got := hdl.FormatExpr(a.RHS); !strings.Contains(got, "and") {
+		t.Errorf("CNR then-branch RHS = %s, want the original else body (a and b)", got)
+	}
+}
+
+func TestSDLDeletesOneStatement(t *testing.T) {
+	c := parse(t, testSrc)
+	countAssigns := func(x *hdl.Circuit) int {
+		n := 0
+		hdl.Walk(x, hdl.Visitor{Stmt: func(s hdl.Stmt) {
+			if _, ok := s.(*hdl.Assign); ok {
+				n++
+			}
+		}})
+		return n
+	}
+	orig := countAssigns(c)
+	ms := Generate(c, SDL)
+	if len(ms) != orig {
+		t.Fatalf("want %d SDL mutants (one per assignment), got %d", orig, len(ms))
+	}
+	for _, m := range ms {
+		if got := countAssigns(m.Circuit); got != orig-1 {
+			t.Errorf("SDL mutant has %d assigns, want %d", got, orig-1)
+		}
+	}
+}
+
+func TestParseOperator(t *testing.T) {
+	for _, s := range []string{"cr", "CR", "lor", "VR"} {
+		if _, err := ParseOperator(s); err != nil {
+			t.Errorf("ParseOperator(%q): %v", s, err)
+		}
+	}
+	if _, err := ParseOperator("zzz"); err == nil {
+		t.Error("bad operator accepted")
+	}
+}
+
+func TestPaperOperatorsSubsetOfAll(t *testing.T) {
+	all := make(map[Operator]bool)
+	for _, op := range AllOperators() {
+		all[op] = true
+	}
+	if len(all) != 10 {
+		t.Fatalf("expected exactly ten operators, got %d", len(all))
+	}
+	for _, op := range PaperOperators() {
+		if !all[op] {
+			t.Errorf("paper operator %s not in the full set", op)
+		}
+	}
+}
+
+func TestByOperatorPartition(t *testing.T) {
+	c := parse(t, testSrc)
+	ms := Generate(c)
+	parts := ByOperator(ms)
+	total := 0
+	for _, part := range parts {
+		total += len(part)
+	}
+	if total != len(ms) {
+		t.Errorf("partition lost mutants: %d vs %d", total, len(ms))
+	}
+}

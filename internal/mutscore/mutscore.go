@@ -1,0 +1,160 @@
+// Package mutscore measures test-set quality against a mutant population:
+// killed/live classification, the mutation score MS = K / (M - E), and the
+// budgeted-campaign estimate of the equivalent-mutant count E. Mutant
+// simulation is embarrassingly parallel and runs on a worker pool.
+package mutscore
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/hdl"
+	"repro/internal/mutation"
+	"repro/internal/sim"
+	"repro/internal/tpg"
+)
+
+// FirstKillCycles runs every mutant against the sequence and returns, per
+// mutant, the first cycle whose outputs differ from the original's, or -1
+// if the sequence never distinguishes it.
+func FirstKillCycles(c *hdl.Circuit, mutants []*mutation.Mutant, seq sim.Sequence) ([]int, error) {
+	origSim, err := sim.New(c)
+	if err != nil {
+		return nil, err
+	}
+	origOuts, err := origSim.Run(seq)
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]int, len(mutants))
+	errs := make([]error, len(mutants))
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(mutants) && len(mutants) > 0 {
+		workers = len(mutants)
+	}
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i], errs[i] = firstKill(mutants[i], seq, origOuts)
+			}
+		}()
+	}
+	for i := range mutants {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for i, e := range errs {
+		if e != nil {
+			return nil, fmt.Errorf("mutscore: mutant %d (%s): %w", i, mutants[i].Desc, e)
+		}
+	}
+	return out, nil
+}
+
+func firstKill(m *mutation.Mutant, seq sim.Sequence, origOuts []sim.Vector) (int, error) {
+	ms, err := sim.New(m.Circuit)
+	if err != nil {
+		return -1, err
+	}
+	ms.Reset()
+	for cyc, v := range seq {
+		got, err := ms.Step(v)
+		if err != nil {
+			return -1, err
+		}
+		for j := range got {
+			if !got[j].Equal(origOuts[cyc][j]) {
+				return cyc, nil
+			}
+		}
+	}
+	return -1, nil
+}
+
+// Kills classifies each mutant as killed (true) or live under the sequence.
+func Kills(c *hdl.Circuit, mutants []*mutation.Mutant, seq sim.Sequence) ([]bool, error) {
+	cycles, err := FirstKillCycles(c, mutants, seq)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]bool, len(cycles))
+	for i, cy := range cycles {
+		out[i] = cy >= 0
+	}
+	return out, nil
+}
+
+// Score computes the mutation score MS = K / (M - E). Mutants flagged
+// equivalent are excluded from the denominator; a killed mutant is never
+// counted equivalent (the caller's equivalence estimate must already
+// satisfy that, and Score enforces it defensively).
+func Score(killed, equivalent []bool) float64 {
+	if len(killed) != len(equivalent) {
+		panic(fmt.Sprintf("mutscore: %d kill flags for %d equivalence flags", len(killed), len(equivalent)))
+	}
+	k, e := 0, 0
+	for i := range killed {
+		switch {
+		case killed[i]:
+			k++
+		case equivalent[i]:
+			e++
+		}
+	}
+	denom := len(killed) - e
+	if denom <= 0 {
+		return 0
+	}
+	return float64(k) / float64(denom)
+}
+
+// EquivalenceOptions tunes the probable-equivalence campaign.
+type EquivalenceOptions struct {
+	// Budget is the number of random campaign cycles. Default 2048.
+	Budget int
+	// Seed drives the campaign stimulus.
+	Seed int64
+}
+
+// EstimateEquivalence runs a budgeted campaign — a long pseudo-random
+// sequence plus any caller-provided sequences — and flags as *probably
+// equivalent* every mutant that nothing killed. True equivalence is
+// undecidable in general; the paper's E term is approximated this way,
+// with the budget as the knob (ablation A3 in DESIGN.md measures its
+// sensitivity).
+func EstimateEquivalence(c *hdl.Circuit, mutants []*mutation.Mutant, extra []sim.Sequence, opts *EquivalenceOptions) ([]bool, error) {
+	o := EquivalenceOptions{Budget: 2048}
+	if opts != nil {
+		if opts.Budget > 0 {
+			o.Budget = opts.Budget
+		}
+		o.Seed = opts.Seed
+	}
+	equivalent := make([]bool, len(mutants))
+	for i := range equivalent {
+		equivalent[i] = true
+	}
+	campaign := append([]sim.Sequence{tpg.RandomSequence(c, o.Budget, o.Seed)}, extra...)
+	for _, seq := range campaign {
+		if len(seq) == 0 {
+			continue
+		}
+		killed, err := Kills(c, mutants, seq)
+		if err != nil {
+			return nil, err
+		}
+		for i, k := range killed {
+			if k {
+				equivalent[i] = false
+			}
+		}
+	}
+	return equivalent, nil
+}

@@ -1,0 +1,85 @@
+package netlist
+
+// Sweep returns a copy of the netlist with dead logic removed: every gate
+// from which no primary output or flip-flop is reachable is dropped.
+// Primary inputs are always kept (the tester drives them whether or not
+// they feed live logic), as are all flip-flops' transitive cones.
+//
+// Synthesized netlists are already dead-free by construction; Sweep
+// matters for netlists imported via ReadBench and for experiments that
+// carve subcircuits. Fault lists must be regenerated after sweeping —
+// gate IDs are renumbered.
+func Sweep(n *Netlist) (*Netlist, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	live := make([]bool, len(n.Gates))
+	var mark func(id int)
+	mark = func(id int) {
+		if live[id] {
+			return
+		}
+		live[id] = true
+		for _, f := range n.Gates[id].Fanin {
+			mark(f)
+		}
+	}
+	for _, id := range n.POs {
+		mark(id)
+	}
+	// A flip-flop that feeds live logic needs its D cone; iterate until no
+	// newly-live FFs appear (state chains).
+	for {
+		grew := false
+		for _, id := range n.FFs {
+			if live[id] && !live[n.Gates[id].Fanin[0]] {
+				mark(n.Gates[id].Fanin[0])
+				grew = true
+			}
+		}
+		if !grew {
+			break
+		}
+	}
+	for _, id := range n.PIs {
+		live[id] = true
+	}
+
+	out := New(n.Name)
+	remap := make([]int, len(n.Gates))
+	for i := range remap {
+		remap[i] = -1
+	}
+	// Recreate gates in original ID order so fanins always resolve.
+	for _, g := range n.Gates {
+		if !live[g.ID] {
+			continue
+		}
+		switch g.Type {
+		case PI:
+			remap[g.ID] = out.AddInput(g.Name)
+		case DFF:
+			remap[g.ID] = out.AddDFF(g.Name, g.Init)
+		default:
+			fanin := make([]int, len(g.Fanin))
+			for j, f := range g.Fanin {
+				fanin[j] = remap[f]
+			}
+			id := out.AddGate(g.Type, fanin...)
+			out.Gates[id].Name = g.Name
+			remap[g.ID] = id
+		}
+	}
+	for _, id := range n.FFs {
+		if live[id] {
+			out.SetDFFInput(remap[id], remap[n.Gates[id].Fanin[0]])
+		}
+	}
+	for i, id := range n.POs {
+		out.MarkOutput(remap[id], n.PONames[i])
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,104 @@
+package netlist
+
+import "testing"
+
+func TestSweepRemovesDeadLogic(t *testing.T) {
+	n := New("dead")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	live := n.AddGate(And, a, b)
+	// Dead cone: feeds nothing observable.
+	d1 := n.AddGate(Or, a, b)
+	_ = n.AddGate(Not, d1)
+	n.MarkOutput(live, "y")
+
+	s, err := Sweep(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.CombGateCount() != 1 {
+		t.Errorf("swept gate count = %d, want 1", s.CombGateCount())
+	}
+	if len(s.PIs) != 2 || len(s.POs) != 1 {
+		t.Errorf("interface changed: %v", s.Stats())
+	}
+}
+
+func TestSweepKeepsFFCones(t *testing.T) {
+	// q feeds the PO; its D cone (through a NOT) must survive even though
+	// the NOT does not reach a PO combinationally.
+	n := New("ffcone")
+	a := n.AddInput("a")
+	q := n.AddDFF("q", 1)
+	inv := n.AddGate(Not, a)
+	n.SetDFFInput(q, inv)
+	n.MarkOutput(q, "qo")
+	// Dead second FF.
+	q2 := n.AddDFF("q2", 0)
+	n.SetDFFInput(q2, a)
+
+	s, err := Sweep(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.FFs) != 1 {
+		t.Fatalf("FF count = %d, want 1", len(s.FFs))
+	}
+	if s.CombGateCount() != 1 {
+		t.Fatalf("comb count = %d, want 1 (the NOT)", s.CombGateCount())
+	}
+	// Behavior preserved: q starts at 1, then captures NOT(a).
+	e, err := NewEvaluator(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := e.Eval([]uint64{0})
+	if out[0]&1 != 1 {
+		t.Error("init value lost")
+	}
+	e.Clock()
+	out, _ = e.Eval([]uint64{0})
+	if out[0]&1 != 1 {
+		t.Error("NOT(0) should latch 1")
+	}
+}
+
+func TestSweepPreservesBehavior(t *testing.T) {
+	n := buildMux(t)
+	// Add dead logic on top.
+	d := n.AddGate(Xor, n.PIs[0], n.PIs[1])
+	_ = n.AddGate(Not, d)
+	s, err := Sweep(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, _ := NewEvaluator(n)
+	e2, _ := NewEvaluator(s)
+	for trial := uint64(0); trial < 8; trial++ {
+		pis := []uint64{trial * 0x9E3779B97F4A7C15, trial ^ 0xABCD, ^trial}
+		o1, _ := e1.Eval(pis)
+		o1c := append([]uint64(nil), o1...)
+		o2, _ := e2.Eval(pis)
+		if o1c[0] != o2[0] {
+			t.Fatalf("sweep changed behavior at trial %d", trial)
+		}
+	}
+	if s.CombGateCount() >= n.CombGateCount() {
+		t.Errorf("sweep removed nothing: %d >= %d", s.CombGateCount(), n.CombGateCount())
+	}
+}
+
+func TestSweepIdempotent(t *testing.T) {
+	n := buildMux(t)
+	s1, err := Sweep(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Sweep(s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.CombGateCount() != s2.CombGateCount() || len(s1.Gates) != len(s2.Gates) {
+		t.Errorf("sweep not idempotent: %v vs %v", s1.Stats(), s2.Stats())
+	}
+}

@@ -1,0 +1,129 @@
+package netlist
+
+import "fmt"
+
+// UnrollMap relates gates of a sequential netlist to their copies in the
+// combinational time-frame expansion produced by Unroll.
+type UnrollMap struct {
+	Frames int
+	// GateAt[f][orig] is the unrolled gate implementing original gate
+	// `orig` in frame f.
+	GateAt [][]int
+	// PIsPerFrame is the number of original primary inputs (the unrolled
+	// netlist's PIs are ordered frame-major: frame 0's inputs first).
+	PIsPerFrame int
+}
+
+// Unroll expands a sequential netlist into `frames` combinational time
+// frames: frame 0 sees the power-on flip-flop values as constants, frame
+// f>0 sees frame f-1's next-state logic through buffers, every frame gets
+// its own copy of the primary inputs, and every frame's primary outputs
+// are observable. The result is a purely combinational netlist suitable
+// for PODEM; stuck-at faults of the original map to one fault site per
+// frame (see SitesInFrames).
+func Unroll(n *Netlist, frames int) (*Netlist, *UnrollMap, error) {
+	if frames < 1 {
+		return nil, nil, fmt.Errorf("netlist: unroll needs >= 1 frame")
+	}
+	order, err := n.Levelize()
+	if err != nil {
+		return nil, nil, err
+	}
+	u := New(fmt.Sprintf("%s_x%d", n.Name, frames))
+	m := &UnrollMap{
+		Frames:      frames,
+		GateAt:      make([][]int, frames),
+		PIsPerFrame: len(n.PIs),
+	}
+	for f := 0; f < frames; f++ {
+		m.GateAt[f] = make([]int, len(n.Gates))
+		for i := range m.GateAt[f] {
+			m.GateAt[f][i] = -1
+		}
+	}
+
+	for f := 0; f < frames; f++ {
+		at := m.GateAt[f]
+		// Inputs, constants and state first (they are fanin-free in-frame).
+		for _, id := range n.PIs {
+			at[id] = u.AddInput(fmt.Sprintf("%s#%d", n.Gates[id].Name, f))
+		}
+		for _, g := range n.Gates {
+			switch g.Type {
+			case Const0, Const1:
+				at[g.ID] = u.AddGate(g.Type)
+			}
+		}
+		for _, id := range n.FFs {
+			g := n.Gates[id]
+			if f == 0 {
+				t := Const0
+				if g.Init&1 == 1 {
+					t = Const1
+				}
+				at[id] = u.AddGate(t)
+			} else {
+				prevD := m.GateAt[f-1][g.Fanin[0]]
+				if prevD < 0 {
+					return nil, nil, fmt.Errorf("netlist: unroll: frame %d DFF %s input unmapped", f, g.Name)
+				}
+				at[id] = u.AddGate(Buf, prevD)
+				u.Gates[at[id]].Name = fmt.Sprintf("%s#%d", g.Name, f)
+			}
+		}
+		// Combinational gates in topological order.
+		for _, id := range order {
+			g := n.Gates[id]
+			fanin := make([]int, len(g.Fanin))
+			for j, src := range g.Fanin {
+				fanin[j] = at[src]
+				if fanin[j] < 0 {
+					return nil, nil, fmt.Errorf("netlist: unroll: frame %d gate %d fanin unmapped", f, id)
+				}
+			}
+			// Single-input gate arities collapse (AddGate enforces >= 2
+			// fanins for AND-class gates, which cannot happen here since
+			// the source validated).
+			at[id] = u.AddGate(g.Type, fanin...)
+		}
+		for i, id := range n.POs {
+			u.MarkOutput(at[id], fmt.Sprintf("%s#%d", n.PONames[i], f))
+		}
+	}
+	if err := u.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("netlist: unrolled netlist invalid: %w", err)
+	}
+	return u, m, nil
+}
+
+// SitesInFrames translates a fault site of the original netlist into its
+// unrolled copies, one per frame. Sites that have no representation in a
+// frame (a DFF output fault in frame 0 lands on the init constant whose
+// stuck value equals the constant, or a DFF D-pin fault in frame 0) are
+// omitted.
+func (m *UnrollMap) SitesInFrames(n *Netlist, site FaultSite) []FaultSite {
+	var out []FaultSite
+	g := n.Gates[site.Gate]
+	for f := 0; f < m.Frames; f++ {
+		ug := m.GateAt[f][site.Gate]
+		if ug < 0 {
+			continue
+		}
+		if g.Type == DFF {
+			if site.Pin == 0 {
+				// D-pin fault: frame 0's state is a constant with no D pin;
+				// later frames model the pin on the buffer.
+				if f == 0 {
+					continue
+				}
+				out = append(out, FaultSite{Gate: ug, Pin: 0, Stuck: site.Stuck})
+				continue
+			}
+			// Output fault: applies in every frame (on the const or buf).
+			out = append(out, FaultSite{Gate: ug, Pin: -1, Stuck: site.Stuck})
+			continue
+		}
+		out = append(out, FaultSite{Gate: ug, Pin: site.Pin, Stuck: site.Stuck})
+	}
+	return out
+}

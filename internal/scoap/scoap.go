@@ -1,0 +1,307 @@
+// Package scoap implements SCOAP testability analysis (Goldstein 1979):
+// per-net 0/1-controllability (how hard it is to drive a net to a value)
+// and observability (how hard it is to propagate a net's value to an
+// output). The measures guide the PODEM backtrace — picking the cheapest
+// input to justify a controlling value and the costliest to justify
+// non-controlling values — and give designers the classic "hard fault"
+// heat map.
+//
+// Sequential elements are handled with the usual pseudo-combinational
+// approximation: a flip-flop adds one time frame of cost to both
+// controllability and observability of its data input.
+package scoap
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/netlist"
+)
+
+// Inf is the cost assigned to unreachable goals (e.g. driving a constant
+// to its opposite value).
+const Inf = 1 << 30
+
+// Measures holds SCOAP costs indexed by gate ID.
+type Measures struct {
+	CC0 []int // cost to set the net to 0
+	CC1 []int // cost to set the net to 1
+	CO  []int // cost to observe the net at a primary output
+}
+
+// Analyze computes SCOAP measures. Controllability propagates forward in
+// topological order (iterated to a fixpoint to absorb flip-flop loops);
+// observability propagates backward.
+func Analyze(nl *netlist.Netlist) (*Measures, error) {
+	order, err := nl.Levelize()
+	if err != nil {
+		return nil, err
+	}
+	n := len(nl.Gates)
+	m := &Measures{CC0: make([]int, n), CC1: make([]int, n), CO: make([]int, n)}
+	for i := 0; i < n; i++ {
+		m.CC0[i], m.CC1[i], m.CO[i] = Inf, Inf, Inf
+	}
+	for _, id := range nl.PIs {
+		m.CC0[id], m.CC1[id] = 1, 1
+	}
+	for _, g := range nl.Gates {
+		switch g.Type {
+		case netlist.Const0:
+			m.CC0[g.ID] = 0
+		case netlist.Const1:
+			m.CC1[g.ID] = 0
+		case netlist.DFF:
+			// Power-on value is free; the opposite costs a capture.
+			if g.Init&1 == 1 {
+				m.CC1[g.ID] = 0
+			} else {
+				m.CC0[g.ID] = 0
+			}
+		}
+	}
+
+	// Forward controllability, iterated because DFF loops feed costs back.
+	for pass := 0; pass < 4*len(nl.FFs)+2; pass++ {
+		changed := false
+		for _, id := range order {
+			g := nl.Gates[id]
+			cc0, cc1 := gateControllability(g, m)
+			if cc0 < m.CC0[id] {
+				m.CC0[id] = cc0
+				changed = true
+			}
+			if cc1 < m.CC1[id] {
+				m.CC1[id] = cc1
+				changed = true
+			}
+		}
+		for _, id := range nl.FFs {
+			d := nl.Gates[id].Fanin[0]
+			if c := add(m.CC0[d], 1); c < m.CC0[id] {
+				m.CC0[id] = c
+				changed = true
+			}
+			if c := add(m.CC1[d], 1); c < m.CC1[id] {
+				m.CC1[id] = c
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Backward observability.
+	for _, id := range nl.POs {
+		m.CO[id] = 0
+	}
+	rev := make([]int, len(order))
+	copy(rev, order)
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	for pass := 0; pass < 4*len(nl.FFs)+2; pass++ {
+		changed := false
+		for _, id := range nl.FFs {
+			// Observing the D input requires observing the FF one frame on.
+			d := nl.Gates[id].Fanin[0]
+			if c := add(m.CO[id], 1); c < m.CO[d] {
+				m.CO[d] = c
+				changed = true
+			}
+		}
+		for _, id := range rev {
+			g := nl.Gates[id]
+			for j, f := range g.Fanin {
+				if c := pinObservability(g, j, m); c < m.CO[f] {
+					m.CO[f] = c
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return m, nil
+}
+
+func add(a, b int) int {
+	if a >= Inf || b >= Inf {
+		return Inf
+	}
+	return a + b
+}
+
+// gateControllability computes (CC0, CC1) of a combinational gate's output
+// from its inputs' measures.
+func gateControllability(g *netlist.Gate, m *Measures) (int, int) {
+	sum := func(sel func(int) int) int {
+		t := 0
+		for _, f := range g.Fanin {
+			t = add(t, sel(f))
+		}
+		return add(t, 1)
+	}
+	minOf := func(sel func(int) int) int {
+		best := Inf
+		for _, f := range g.Fanin {
+			if v := sel(f); v < best {
+				best = v
+			}
+		}
+		return add(best, 1)
+	}
+	cc0of := func(f int) int { return m.CC0[f] }
+	cc1of := func(f int) int { return m.CC1[f] }
+
+	switch g.Type {
+	case netlist.Buf:
+		return add(m.CC0[g.Fanin[0]], 1), add(m.CC1[g.Fanin[0]], 1)
+	case netlist.Not:
+		return add(m.CC1[g.Fanin[0]], 1), add(m.CC0[g.Fanin[0]], 1)
+	case netlist.And:
+		return minOf(cc0of), sum(cc1of)
+	case netlist.Nand:
+		return sum(cc1of), minOf(cc0of)
+	case netlist.Or:
+		return sum(cc0of), minOf(cc1of)
+	case netlist.Nor:
+		return minOf(cc1of), sum(cc0of)
+	case netlist.Xor, netlist.Xnor:
+		return xorControllability(g, m)
+	default:
+		return m.CC0[g.ID], m.CC1[g.ID] // PIs, constants, DFFs keep seeds
+	}
+}
+
+// xorControllability enumerates parity combinations for XOR/XNOR: the cost
+// of each output value is the cheapest input assignment with the right
+// parity. Fanin counts here are small (the synthesizer emits 2-input
+// gates), so the 2^n enumeration is fine; wide gates fall back to an
+// approximation.
+func xorControllability(g *netlist.Gate, m *Measures) (int, int) {
+	n := len(g.Fanin)
+	if n > 10 {
+		// Approximate: sum of min-costs + 1 for both values.
+		t := 1
+		for _, f := range g.Fanin {
+			t = add(t, min(m.CC0[f], m.CC1[f]))
+		}
+		return t, t
+	}
+	best := [2]int{Inf, Inf}
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		cost := 1
+		ones := 0
+		for j, f := range g.Fanin {
+			if mask>>uint(j)&1 == 1 {
+				cost = add(cost, m.CC1[f])
+				ones++
+			} else {
+				cost = add(cost, m.CC0[f])
+			}
+		}
+		parity := ones & 1
+		if cost < best[parity] {
+			best[parity] = cost
+		}
+	}
+	cc1, cc0 := best[1], best[0]
+	if g.Type == netlist.Xnor {
+		cc0, cc1 = cc1, cc0
+	}
+	return cc0, cc1
+}
+
+// pinObservability computes the cost of observing fanin pin j of gate g:
+// the gate's own observability plus the cost of setting every sibling to
+// the gate's non-controlling value (or, for XOR, to any known value).
+func pinObservability(g *netlist.Gate, j int, m *Measures) int {
+	base := add(m.CO[g.ID], 1)
+	switch g.Type {
+	case netlist.Buf, netlist.Not:
+		return base
+	case netlist.And, netlist.Nand:
+		for k, f := range g.Fanin {
+			if k != j {
+				base = add(base, m.CC1[f])
+			}
+		}
+		return base
+	case netlist.Or, netlist.Nor:
+		for k, f := range g.Fanin {
+			if k != j {
+				base = add(base, m.CC0[f])
+			}
+		}
+		return base
+	case netlist.Xor, netlist.Xnor:
+		for k, f := range g.Fanin {
+			if k != j {
+				base = add(base, min(m.CC0[f], m.CC1[f]))
+			}
+		}
+		return base
+	default:
+		return Inf
+	}
+}
+
+// Summary aggregates the measures for reports.
+type Summary struct {
+	MaxCC0, MaxCC1, MaxCO    int
+	MeanCC0, MeanCC1, MeanCO float64
+	// HardestNets lists the gate IDs with the highest CC+CO sum (the
+	// classic "hard fault site" predictor), hardest first.
+	HardestNets []int
+}
+
+// Summarize computes aggregate statistics over reachable nets.
+func (m *Measures) Summarize(nl *netlist.Netlist, topN int) Summary {
+	var s Summary
+	count := 0
+	type scored struct{ id, cost int }
+	var all []scored
+	for id := range nl.Gates {
+		cc0, cc1, co := m.CC0[id], m.CC1[id], m.CO[id]
+		if cc0 >= Inf || cc1 >= Inf || co >= Inf {
+			continue
+		}
+		count++
+		s.MeanCC0 += float64(cc0)
+		s.MeanCC1 += float64(cc1)
+		s.MeanCO += float64(co)
+		if cc0 > s.MaxCC0 {
+			s.MaxCC0 = cc0
+		}
+		if cc1 > s.MaxCC1 {
+			s.MaxCC1 = cc1
+		}
+		if co > s.MaxCO {
+			s.MaxCO = co
+		}
+		all = append(all, scored{id: id, cost: cc0 + cc1 + co})
+	}
+	if count > 0 {
+		s.MeanCC0 /= float64(count)
+		s.MeanCC1 /= float64(count)
+		s.MeanCO /= float64(count)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].cost != all[j].cost {
+			return all[i].cost > all[j].cost
+		}
+		return all[i].id < all[j].id
+	})
+	for i := 0; i < topN && i < len(all); i++ {
+		s.HardestNets = append(s.HardestNets, all[i].id)
+	}
+	return s
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("CC0 mean %.1f max %d | CC1 mean %.1f max %d | CO mean %.1f max %d",
+		s.MeanCC0, s.MaxCC0, s.MeanCC1, s.MaxCC1, s.MeanCO, s.MaxCO)
+}

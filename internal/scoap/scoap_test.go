@@ -1,0 +1,197 @@
+package scoap
+
+import (
+	"testing"
+
+	"repro/internal/circuits"
+	"repro/internal/netlist"
+	"repro/internal/synth"
+)
+
+func TestPIMeasures(t *testing.T) {
+	n := netlist.New("pi")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	y := n.AddGate(netlist.And, a, b)
+	n.MarkOutput(y, "y")
+	m, err := Analyze(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CC0[a] != 1 || m.CC1[a] != 1 {
+		t.Errorf("PI controllability = %d/%d, want 1/1", m.CC0[a], m.CC1[a])
+	}
+	// AND: CC1 = 1+1+1 = 3, CC0 = min(1,1)+1 = 2.
+	if m.CC1[y] != 3 {
+		t.Errorf("AND CC1 = %d, want 3", m.CC1[y])
+	}
+	if m.CC0[y] != 2 {
+		t.Errorf("AND CC0 = %d, want 2", m.CC0[y])
+	}
+	// PO observability 0; PI a observable through the AND: CO = 0+1+CC1(b) = 2.
+	if m.CO[y] != 0 {
+		t.Errorf("PO CO = %d, want 0", m.CO[y])
+	}
+	if m.CO[a] != 2 {
+		t.Errorf("PI CO = %d, want 2", m.CO[a])
+	}
+}
+
+func TestInverterSwapsControllability(t *testing.T) {
+	n := netlist.New("inv")
+	a := n.AddInput("a")
+	y := n.AddGate(netlist.Not, a)
+	n.MarkOutput(y, "y")
+	m, err := Analyze(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CC0[y] != 2 || m.CC1[y] != 2 {
+		t.Errorf("NOT CC = %d/%d, want 2/2", m.CC0[y], m.CC1[y])
+	}
+}
+
+func TestConstantsAreOneSided(t *testing.T) {
+	n := netlist.New("c")
+	a := n.AddInput("a")
+	c1 := n.AddGate(netlist.Const1)
+	y := n.AddGate(netlist.And, a, c1)
+	n.MarkOutput(y, "y")
+	m, err := Analyze(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CC1[c1] != 0 {
+		t.Errorf("const1 CC1 = %d, want 0", m.CC1[c1])
+	}
+	if m.CC0[c1] < Inf {
+		t.Errorf("const1 CC0 = %d, want Inf", m.CC0[c1])
+	}
+}
+
+func TestXorControllability(t *testing.T) {
+	n := netlist.New("x")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	y := n.AddGate(netlist.Xor, a, b)
+	n.MarkOutput(y, "y")
+	m, err := Analyze(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// XOR=1 needs odd ones: cheapest is 1+CC1(a)+CC0(b) = 3.
+	if m.CC1[y] != 3 || m.CC0[y] != 3 {
+		t.Errorf("XOR CC = %d/%d, want 3/3", m.CC0[y], m.CC1[y])
+	}
+}
+
+func TestDeepChainCostsGrow(t *testing.T) {
+	n := netlist.New("chain")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	g := a
+	for i := 0; i < 6; i++ {
+		g = n.AddGate(netlist.And, g, b)
+	}
+	n.MarkOutput(g, "y")
+	m, err := Analyze(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CC1 climbs with depth; the deepest gate is hardest to set to 1.
+	if m.CC1[g] <= m.CC1[a] {
+		t.Errorf("deep CC1 %d not greater than PI %d", m.CC1[g], m.CC1[a])
+	}
+	// The PI driving the whole chain has worse observability... b feeds
+	// every level; a must pass through all 6 ANDs.
+	if m.CO[a] <= m.CO[g] {
+		t.Errorf("CO(a)=%d should exceed CO(output)=%d", m.CO[a], m.CO[g])
+	}
+}
+
+func TestSequentialMeasuresFinite(t *testing.T) {
+	// Toggle flop: q' = q XOR en. The loop must converge with finite costs.
+	n := netlist.New("toggle")
+	en := n.AddInput("en")
+	q := n.AddDFF("q", 0)
+	d := n.AddGate(netlist.Xor, q, en)
+	n.SetDFFInput(q, d)
+	n.MarkOutput(q, "qo")
+	m, err := Analyze(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CC0[q] != 0 {
+		t.Errorf("power-on-0 flop CC0 = %d, want 0", m.CC0[q])
+	}
+	if m.CC1[q] >= Inf {
+		t.Errorf("flop CC1 unreachable")
+	}
+	if m.CO[d] >= Inf {
+		t.Errorf("D input unobservable")
+	}
+}
+
+func TestAllBenchmarksHaveFiniteMeasures(t *testing.T) {
+	for _, name := range circuits.Names() {
+		t.Run(name, func(t *testing.T) {
+			nl, err := synth.Synthesize(circuits.MustLoad(name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := Analyze(nl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inf0, inf1, infO := 0, 0, 0
+			for id := range nl.Gates {
+				if m.CC0[id] >= Inf {
+					inf0++
+				}
+				if m.CC1[id] >= Inf {
+					inf1++
+				}
+				if m.CO[id] >= Inf {
+					infO++
+				}
+			}
+			// Constants have one unreachable value by definition, and
+			// sequential feedback can make further values structurally
+			// unreachable (e.g. a state bit that is only ever written with
+			// itself: b01's stato[2] never leaves 0). Require the bulk of
+			// the circuit to stay controllable.
+			if frac := float64(inf0+inf1) / float64(2*len(nl.Gates)); frac > 0.15 {
+				t.Errorf("%s: %.0f%% of controllability goals unreachable (%d+%d of %d gates)",
+					name, 100*frac, inf0, inf1, len(nl.Gates))
+			}
+			if infO > len(nl.Gates)/4 {
+				t.Errorf("%s: %d of %d gates unobservable", name, infO, len(nl.Gates))
+			}
+			sum := m.Summarize(nl, 5)
+			if len(sum.HardestNets) == 0 {
+				t.Error("no hardest nets reported")
+			}
+			t.Logf("%s: %v", name, sum)
+		})
+	}
+}
+
+func TestSummarizeOrdering(t *testing.T) {
+	nl, err := synth.Synthesize(circuits.MustLoad("c432"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Analyze(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.Summarize(nl, 10)
+	for i := 1; i < len(s.HardestNets); i++ {
+		a, b := s.HardestNets[i-1], s.HardestNets[i]
+		costA := m.CC0[a] + m.CC1[a] + m.CO[a]
+		costB := m.CC0[b] + m.CC1[b] + m.CO[b]
+		if costA < costB {
+			t.Fatalf("hardest nets not sorted: %d < %d", costA, costB)
+		}
+	}
+}

@@ -1,0 +1,852 @@
+// Package synth compiles MHDL circuits to gate-level netlists. The
+// translation mirrors the behavioral simulator's two-phase cycle semantics
+// exactly, so the netlist and the simulator are bit-identical on every
+// input sequence — an invariant the test suite checks on random stimuli.
+//
+// Bit order convention: every multi-bit signal is blasted LSB first. The
+// netlist's primary inputs are the behavioral inputs in declaration order,
+// each expanded LSB first, and likewise for outputs; PackVector and
+// UnpackVector convert between behavioral vectors and PI/PO words.
+//
+// The generated logic is structurally hashed and lightly folded (constant
+// propagation, idempotence), which keeps fault lists close to what a real
+// synthesis flow would hand the ATPG.
+package synth
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/hdl"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// Synthesize compiles a strictly-checked circuit into a netlist.
+func Synthesize(c *hdl.Circuit) (*netlist.Netlist, error) {
+	s := &synther{
+		c:        c,
+		nl:       netlist.New(c.Name),
+		hash:     make(map[gateKey]int),
+		loopVars: make(map[string]uint64),
+	}
+	if err := s.run(); err != nil {
+		return nil, err
+	}
+	if err := s.nl.Validate(); err != nil {
+		return nil, fmt.Errorf("synth: generated netlist invalid: %w", err)
+	}
+	return s.nl, nil
+}
+
+// env maps signal names to their per-bit gate IDs (LSB first).
+type env map[string][]int
+
+func (e env) clone() env {
+	n := make(env, len(e))
+	for k, v := range e {
+		n[k] = append([]int(nil), v...)
+	}
+	return n
+}
+
+type gateKey struct {
+	t    netlist.GateType
+	a, b int
+}
+
+type synther struct {
+	c        *hdl.Circuit
+	nl       *netlist.Netlist
+	c0, c1   int
+	hash     map[gateKey]int
+	loopVars map[string]uint64
+
+	ffBits map[string][]int // reg / registered-output name -> DFF gate IDs
+
+	// read is the fixed read environment of the current phase; write is
+	// threaded through control flow. In the comb phase they are the same
+	// map (immediate semantics); in the seq phase reads see pre-cycle
+	// values while writes accumulate next-state logic.
+	read  env
+	write env
+}
+
+func (s *synther) run() error {
+	nl := s.nl
+	s.c0 = nl.AddGate(netlist.Const0)
+	s.c1 = nl.AddGate(netlist.Const1)
+
+	registered := s.c.AssignedSignals(hdl.Seq)
+	s.ffBits = make(map[string][]int)
+
+	comb := make(env)
+	for _, p := range s.c.Ports {
+		if p.Dir != hdl.Input {
+			continue
+		}
+		bits := make([]int, p.Width)
+		for i := range bits {
+			bits[i] = nl.AddInput(bitName(p.Name, i, p.Width))
+		}
+		comb[p.Name] = bits
+	}
+	for _, r := range s.c.Regs {
+		bits := make([]int, r.Width)
+		for i := range bits {
+			bits[i] = nl.AddDFF(bitName(r.Name, i, r.Width), r.Init.Bit(i))
+		}
+		s.ffBits[r.Name] = bits
+		comb[r.Name] = bits
+	}
+	for _, p := range s.c.Ports {
+		if p.Dir == hdl.Output && registered[p.Name] {
+			bits := make([]int, p.Width)
+			for i := range bits {
+				bits[i] = nl.AddDFF(bitName(p.Name, i, p.Width)+"_ff", 0)
+			}
+			s.ffBits[p.Name] = bits
+			comb[p.Name] = bits
+		}
+	}
+	for _, k := range s.c.Consts {
+		comb[k.Name] = s.constBits(k.Value)
+	}
+	for _, w := range s.c.Wires {
+		bits := make([]int, w.Width)
+		for i := range bits {
+			bits[i] = s.c0
+		}
+		comb[w.Name] = bits
+	}
+	// Combinational outputs default to zero until assigned (definite
+	// assignment guarantees they are).
+	for _, p := range s.c.Ports {
+		if p.Dir == hdl.Output && !registered[p.Name] {
+			bits := make([]int, p.Width)
+			for i := range bits {
+				bits[i] = s.c0
+			}
+			comb[p.Name] = bits
+		}
+	}
+
+	// Phase 1: comb blocks with immediate-update semantics.
+	s.read = comb
+	s.write = comb
+	for _, b := range s.c.Blocks {
+		if b.Kind == hdl.Comb {
+			if err := s.stmts(b.Stmts); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Phase 2: seq blocks. Reads see the comb-phase environment; writes
+	// build next-state logic starting from hold (current state).
+	next := make(env)
+	for name, bits := range s.ffBits {
+		next[name] = append([]int(nil), bits...)
+	}
+	s.read = comb
+	s.write = next
+	for _, b := range s.c.Blocks {
+		if b.Kind == hdl.Seq {
+			if err := s.stmts(b.Stmts); err != nil {
+				return err
+			}
+		}
+	}
+	for name, ffs := range s.ffBits {
+		for i, ff := range ffs {
+			nl.SetDFFInput(ff, next[name][i])
+		}
+	}
+
+	// Primary outputs, declaration order, LSB first.
+	for _, p := range s.c.Ports {
+		if p.Dir != hdl.Output {
+			continue
+		}
+		bits := comb[p.Name]
+		for i, g := range bits {
+			nl.MarkOutput(g, bitName(p.Name, i, p.Width))
+		}
+	}
+	return nil
+}
+
+func bitName(name string, i, width int) string {
+	if width == 1 {
+		return name
+	}
+	return fmt.Sprintf("%s_%d", name, i)
+}
+
+// --- statements --------------------------------------------------------------
+
+func (s *synther) stmts(ss []hdl.Stmt) error {
+	for _, st := range ss {
+		if err := s.stmt(st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *synther) stmt(st hdl.Stmt) error {
+	switch st := st.(type) {
+	case *hdl.Assign:
+		return s.assign(st)
+	case *hdl.If:
+		cond, err := s.truth(st.Cond)
+		if err != nil {
+			return err
+		}
+		return s.branch(cond, st.Then, st.Else)
+	case *hdl.Case:
+		subj, err := s.expr(st.Subject)
+		if err != nil {
+			return err
+		}
+		return s.caseChain(subj, st.Arms, st.Default)
+	case *hdl.For:
+		for v := st.Lo; v <= st.Hi; v++ {
+			s.loopVars[st.Var] = uint64(v)
+			if err := s.stmts(st.Body); err != nil {
+				return err
+			}
+		}
+		delete(s.loopVars, st.Var)
+		return nil
+	default:
+		return fmt.Errorf("synth: unknown statement %T", st)
+	}
+}
+
+// branch executes then/else against copies of the write environment and
+// muxes the results under cond.
+func (s *synther) branch(cond int, then, els []hdl.Stmt) error {
+	base := s.write
+	thenEnv := base.clone()
+	s.write = thenEnv
+	if err := s.stmts(then); err != nil {
+		return err
+	}
+	elseEnv := base.clone()
+	s.write = elseEnv
+	if err := s.stmts(els); err != nil {
+		return err
+	}
+	s.write = base
+	for name, tb := range thenEnv {
+		eb := elseEnv[name]
+		merged := make([]int, len(tb))
+		for i := range tb {
+			merged[i] = s.mux(cond, tb[i], eb[i])
+		}
+		base[name] = merged
+	}
+	return nil
+}
+
+// caseChain lowers a case to a priority if-else chain, preserving the
+// simulator's first-match semantics.
+func (s *synther) caseChain(subj []int, arms []*hdl.CaseArm, def []hdl.Stmt) error {
+	if len(arms) == 0 {
+		return s.stmts(def)
+	}
+	arm := arms[0]
+	match := s.c0
+	for _, l := range arm.Labels {
+		lb, err := s.expr(l)
+		if err != nil {
+			return err
+		}
+		match = s.or2(match, s.eqBits(subj, lb))
+	}
+	base := s.write
+	thenEnv := base.clone()
+	s.write = thenEnv
+	if err := s.stmts(arm.Body); err != nil {
+		return err
+	}
+	elseEnv := base.clone()
+	s.write = elseEnv
+	if err := s.caseChain(subj, arms[1:], def); err != nil {
+		return err
+	}
+	s.write = base
+	for name, tb := range thenEnv {
+		eb := elseEnv[name]
+		merged := make([]int, len(tb))
+		for i := range tb {
+			merged[i] = s.mux(match, tb[i], eb[i])
+		}
+		base[name] = merged
+	}
+	return nil
+}
+
+func (s *synther) assign(st *hdl.Assign) error {
+	cur, ok := s.write[st.LHS.Name]
+	if !ok {
+		return fmt.Errorf("synth: assignment to unknown signal %q", st.LHS.Name)
+	}
+	rhs, err := s.expr(st.RHS)
+	if err != nil {
+		return err
+	}
+	if st.LHS.Index == nil {
+		w := len(cur)
+		bits := resizeBits(rhs, w, s.c0)
+		s.write[st.LHS.Name] = bits
+		return nil
+	}
+	idx, err := s.expr(st.LHS.Index)
+	if err != nil {
+		return err
+	}
+	rb := s.c0
+	if len(rhs) > 0 {
+		rb = rhs[0]
+	}
+	out := make([]int, len(cur))
+	for i := range cur {
+		sel := s.eqConst(idx, uint64(i))
+		out[i] = s.mux(sel, rb, cur[i])
+	}
+	s.write[st.LHS.Name] = out
+	return nil
+}
+
+// --- expressions -------------------------------------------------------------
+
+// truth reduces an expression to a single truth bit (non-zero test).
+func (s *synther) truth(e hdl.Expr) (int, error) {
+	bits, err := s.expr(e)
+	if err != nil {
+		return 0, err
+	}
+	return s.orReduce(bits), nil
+}
+
+func (s *synther) expr(e hdl.Expr) ([]int, error) {
+	switch e := e.(type) {
+	case *hdl.Lit:
+		v := e.Val
+		if e.Width == 0 {
+			v = bitvec.New(e.Raw, max(1, naturalWidth(e.Raw)))
+		}
+		return s.constBits(v), nil
+	case *hdl.Ref:
+		if v, ok := s.loopVars[e.Name]; ok {
+			w := e.Width
+			if w == 0 {
+				w = 8
+			}
+			return s.constBits(bitvec.New(v, w)), nil
+		}
+		bits, ok := s.read[e.Name]
+		if !ok {
+			return nil, fmt.Errorf("synth: reference to unknown signal %q", e.Name)
+		}
+		return bits, nil
+	case *hdl.Index:
+		xb, err := s.expr(e.X)
+		if err != nil {
+			return nil, err
+		}
+		ib, err := s.expr(e.I)
+		if err != nil {
+			return nil, err
+		}
+		if lit, ok := e.I.(*hdl.Lit); ok {
+			if lit.Raw < uint64(len(xb)) {
+				return []int{xb[lit.Raw]}, nil
+			}
+			return []int{s.c0}, nil
+		}
+		// Dynamic select: OR over AND(eq(idx,k), x_k); out-of-range reads 0.
+		out := s.c0
+		for k, b := range xb {
+			out = s.or2(out, s.and2(s.eqConst(ib, uint64(k)), b))
+		}
+		return []int{out}, nil
+	case *hdl.SliceExpr:
+		xb, err := s.expr(e.X)
+		if err != nil {
+			return nil, err
+		}
+		return xb[e.Lo : e.Hi+1], nil
+	case *hdl.Unary:
+		xb, err := s.expr(e.X)
+		if err != nil {
+			return nil, err
+		}
+		switch e.Op {
+		case hdl.OpNot:
+			out := make([]int, len(xb))
+			for i, b := range xb {
+				out[i] = s.not(b)
+			}
+			return out, nil
+		case hdl.OpNeg:
+			return s.negBits(xb), nil
+		case hdl.OpRedAnd:
+			return []int{s.andReduce(xb)}, nil
+		case hdl.OpRedOr:
+			return []int{s.orReduce(xb)}, nil
+		case hdl.OpRedXor:
+			return []int{s.xorReduce(xb)}, nil
+		}
+		return nil, fmt.Errorf("synth: unknown unary op %v", e.Op)
+	case *hdl.Binary:
+		return s.binary(e)
+	default:
+		return nil, fmt.Errorf("synth: unknown expression %T", e)
+	}
+}
+
+func (s *synther) binary(e *hdl.Binary) ([]int, error) {
+	xb, err := s.expr(e.X)
+	if err != nil {
+		return nil, err
+	}
+	yb, err := s.expr(e.Y)
+	if err != nil {
+		return nil, err
+	}
+	if e.Op != hdl.OpConcat && !e.Op.IsShift() && len(xb) != len(yb) {
+		// Mirrors the simulator's defensive resize for relaxed-mode widths.
+		yb = resizeBits(yb, len(xb), s.c0)
+	}
+	switch e.Op {
+	case hdl.OpAnd, hdl.OpOr, hdl.OpXor, hdl.OpNand, hdl.OpNor, hdl.OpXnor:
+		out := make([]int, len(xb))
+		for i := range xb {
+			out[i] = s.logic2(e.Op, xb[i], yb[i])
+		}
+		return out, nil
+	case hdl.OpEq:
+		return []int{s.eqBits(xb, yb)}, nil
+	case hdl.OpNe:
+		return []int{s.not(s.eqBits(xb, yb))}, nil
+	case hdl.OpLt:
+		lt, _ := s.compare(xb, yb)
+		return []int{lt}, nil
+	case hdl.OpLe:
+		_, gt := s.compare(xb, yb)
+		return []int{s.not(gt)}, nil
+	case hdl.OpGt:
+		_, gt := s.compare(xb, yb)
+		return []int{gt}, nil
+	case hdl.OpGe:
+		lt, _ := s.compare(xb, yb)
+		return []int{s.not(lt)}, nil
+	case hdl.OpAdd:
+		sum, _ := s.addBits(xb, yb, s.c0)
+		return sum, nil
+	case hdl.OpSub:
+		nyb := make([]int, len(yb))
+		for i, b := range yb {
+			nyb[i] = s.not(b)
+		}
+		sum, _ := s.addBits(xb, nyb, s.c1)
+		return sum, nil
+	case hdl.OpMul:
+		return s.mulBits(xb, yb), nil
+	case hdl.OpShl:
+		return s.shiftBits(xb, yb, true), nil
+	case hdl.OpShr:
+		return s.shiftBits(xb, yb, false), nil
+	case hdl.OpConcat:
+		out := make([]int, 0, len(xb)+len(yb))
+		out = append(out, yb...) // Y is the low part (X ++ Y puts X high)
+		out = append(out, xb...)
+		return out, nil
+	}
+	return nil, fmt.Errorf("synth: unknown binary op %v", e.Op)
+}
+
+// --- gate constructors with folding and structural hashing -------------------
+
+func (s *synther) gate2(t netlist.GateType, a, b int) int {
+	// Commutative: canonicalize operand order for hashing.
+	if a > b {
+		a, b = b, a
+	}
+	key := gateKey{t, a, b}
+	if id, ok := s.hash[key]; ok {
+		return id
+	}
+	id := s.nl.AddGate(t, a, b)
+	s.hash[key] = id
+	return id
+}
+
+func (s *synther) not(a int) int {
+	switch a {
+	case s.c0:
+		return s.c1
+	case s.c1:
+		return s.c0
+	}
+	key := gateKey{netlist.Not, a, -1}
+	if id, ok := s.hash[key]; ok {
+		return id
+	}
+	id := s.nl.AddGate(netlist.Not, a)
+	s.hash[key] = id
+	return id
+}
+
+func (s *synther) and2(a, b int) int {
+	if a == s.c0 || b == s.c0 {
+		return s.c0
+	}
+	if a == s.c1 {
+		return b
+	}
+	if b == s.c1 {
+		return a
+	}
+	if a == b {
+		return a
+	}
+	return s.gate2(netlist.And, a, b)
+}
+
+func (s *synther) or2(a, b int) int {
+	if a == s.c1 || b == s.c1 {
+		return s.c1
+	}
+	if a == s.c0 {
+		return b
+	}
+	if b == s.c0 {
+		return a
+	}
+	if a == b {
+		return a
+	}
+	return s.gate2(netlist.Or, a, b)
+}
+
+func (s *synther) xor2(a, b int) int {
+	if a == b {
+		return s.c0
+	}
+	if a == s.c0 {
+		return b
+	}
+	if b == s.c0 {
+		return a
+	}
+	if a == s.c1 {
+		return s.not(b)
+	}
+	if b == s.c1 {
+		return s.not(a)
+	}
+	return s.gate2(netlist.Xor, a, b)
+}
+
+func (s *synther) logic2(op hdl.BinOp, a, b int) int {
+	switch op {
+	case hdl.OpAnd:
+		return s.and2(a, b)
+	case hdl.OpOr:
+		return s.or2(a, b)
+	case hdl.OpXor:
+		return s.xor2(a, b)
+	case hdl.OpNand:
+		return s.not(s.and2(a, b))
+	case hdl.OpNor:
+		return s.not(s.or2(a, b))
+	case hdl.OpXnor:
+		return s.not(s.xor2(a, b))
+	}
+	panic("synth: not a logical op")
+}
+
+// mux returns sel ? a : b.
+func (s *synther) mux(sel, a, b int) int {
+	if a == b {
+		return a
+	}
+	switch sel {
+	case s.c1:
+		return a
+	case s.c0:
+		return b
+	}
+	return s.or2(s.and2(sel, a), s.and2(s.not(sel), b))
+}
+
+func (s *synther) constBits(v bitvec.BV) []int {
+	bits := make([]int, v.Width())
+	for i := range bits {
+		if v.Bit(i) == 1 {
+			bits[i] = s.c1
+		} else {
+			bits[i] = s.c0
+		}
+	}
+	return bits
+}
+
+func (s *synther) eqBits(a, b []int) int {
+	if len(a) != len(b) {
+		b = resizeBits(b, len(a), s.c0)
+	}
+	acc := s.c1
+	for i := range a {
+		acc = s.and2(acc, s.not(s.xor2(a[i], b[i])))
+	}
+	return acc
+}
+
+func (s *synther) eqConst(a []int, v uint64) int {
+	acc := s.c1
+	for i, b := range a {
+		if (v>>uint(i))&1 == 1 {
+			acc = s.and2(acc, b)
+		} else {
+			acc = s.and2(acc, s.not(b))
+		}
+	}
+	// Value bits beyond the signal width must be zero for a match.
+	if naturalWidth(v) > len(a) {
+		return s.c0
+	}
+	return acc
+}
+
+// compare returns (a<b, a>b) for unsigned operands, MSB-first scan.
+func (s *synther) compare(a, b []int) (lt, gt int) {
+	lt, gt = s.c0, s.c0
+	eqSoFar := s.c1
+	for i := len(a) - 1; i >= 0; i-- {
+		ai, bi := a[i], b[i]
+		lt = s.or2(lt, s.and2(eqSoFar, s.and2(s.not(ai), bi)))
+		gt = s.or2(gt, s.and2(eqSoFar, s.and2(ai, s.not(bi))))
+		eqSoFar = s.and2(eqSoFar, s.not(s.xor2(ai, bi)))
+	}
+	return lt, gt
+}
+
+// addBits is a ripple-carry adder; returns sum bits and carry out.
+func (s *synther) addBits(a, b []int, cin int) ([]int, int) {
+	sum := make([]int, len(a))
+	c := cin
+	for i := range a {
+		axb := s.xor2(a[i], b[i])
+		sum[i] = s.xor2(axb, c)
+		c = s.or2(s.and2(a[i], b[i]), s.and2(c, axb))
+	}
+	return sum, c
+}
+
+func (s *synther) negBits(a []int) []int {
+	na := make([]int, len(a))
+	for i, b := range a {
+		na[i] = s.not(b)
+	}
+	zero := make([]int, len(a))
+	one := make([]int, len(a))
+	for i := range zero {
+		zero[i] = s.c0
+		one[i] = s.c0
+	}
+	if len(one) > 0 {
+		one[0] = s.c1
+	}
+	_ = zero
+	sum, _ := s.addBits(na, one, s.c0)
+	return sum
+}
+
+// mulBits is a shift-and-add array multiplier truncated to len(a) bits.
+func (s *synther) mulBits(a, b []int) []int {
+	w := len(a)
+	acc := make([]int, w)
+	for i := range acc {
+		acc[i] = s.c0
+	}
+	for j := 0; j < w; j++ {
+		// Partial product: a << j, gated by b[j].
+		pp := make([]int, w)
+		for i := range pp {
+			if i >= j {
+				pp[i] = s.and2(a[i-j], b[j])
+			} else {
+				pp[i] = s.c0
+			}
+		}
+		acc, _ = s.addBits(acc, pp, s.c0)
+	}
+	return acc
+}
+
+// shiftBits lowers a dynamic shift: out_i = OR over k of (eq(n,k) AND a_{i∓k}).
+func (s *synther) shiftBits(a, n []int, left bool) []int {
+	w := len(a)
+	// Constant shift folds away when n is all-constant.
+	if v, ok := s.constValue(n); ok {
+		out := make([]int, w)
+		for i := range out {
+			var src int
+			if left {
+				src = i - int(v)
+			} else {
+				src = i + int(v)
+			}
+			if src >= 0 && src < w && v < uint64(w) {
+				out[i] = a[src]
+			} else {
+				out[i] = s.c0
+			}
+		}
+		return out
+	}
+	out := make([]int, w)
+	for i := range out {
+		acc := s.c0
+		for k := 0; k < w; k++ {
+			var src int
+			if left {
+				src = i - k
+			} else {
+				src = i + k
+			}
+			if src < 0 || src >= w {
+				continue
+			}
+			acc = s.or2(acc, s.and2(s.eqConst(n, uint64(k)), a[src]))
+		}
+		out[i] = acc
+	}
+	return out
+}
+
+// constValue recognizes an all-constant bit slice.
+func (s *synther) constValue(bits []int) (uint64, bool) {
+	var v uint64
+	for i, b := range bits {
+		switch b {
+		case s.c0:
+		case s.c1:
+			v |= 1 << uint(i)
+		default:
+			return 0, false
+		}
+	}
+	return v, true
+}
+
+func (s *synther) orReduce(bits []int) int {
+	acc := s.c0
+	for _, b := range bits {
+		acc = s.or2(acc, b)
+	}
+	return acc
+}
+
+func (s *synther) andReduce(bits []int) int {
+	acc := s.c1
+	for _, b := range bits {
+		acc = s.and2(acc, b)
+	}
+	return acc
+}
+
+func (s *synther) xorReduce(bits []int) int {
+	acc := s.c0
+	for _, b := range bits {
+		acc = s.xor2(acc, b)
+	}
+	return acc
+}
+
+func resizeBits(bits []int, w int, zero int) []int {
+	if len(bits) == w {
+		return bits
+	}
+	out := make([]int, w)
+	for i := range out {
+		if i < len(bits) {
+			out[i] = bits[i]
+		} else {
+			out[i] = zero
+		}
+	}
+	return out
+}
+
+func naturalWidth(v uint64) int {
+	n := 0
+	for v != 0 {
+		n++
+		v >>= 1
+	}
+	if n == 0 {
+		return 1
+	}
+	return n
+}
+
+// --- behavioral <-> netlist vector conversion --------------------------------
+
+// PackVector expands a behavioral input vector into PI words (one per PI
+// bit, LSB first per port in declaration order), replicating each bit
+// across all 64 lanes.
+func PackVector(c *hdl.Circuit, v sim.Vector) []uint64 {
+	var words []uint64
+	for i, p := range c.Inputs() {
+		for b := 0; b < p.Width; b++ {
+			w := uint64(0)
+			if v[i].Bit(b) == 1 {
+				w = ^uint64(0)
+			}
+			words = append(words, w)
+		}
+	}
+	return words
+}
+
+// PackVectors packs up to 64 behavioral vectors into one PI word set, one
+// lane per vector (pattern-parallel combinational simulation).
+func PackVectors(c *hdl.Circuit, vs []sim.Vector) []uint64 {
+	var words []uint64
+	wi := 0
+	for i, p := range c.Inputs() {
+		for b := 0; b < p.Width; b++ {
+			var w uint64
+			for lane, v := range vs {
+				if v[i].Bit(b) == 1 {
+					w |= 1 << uint(lane)
+				}
+			}
+			words = append(words, w)
+			wi++
+		}
+	}
+	return words
+}
+
+// UnpackVector reads one lane of PO words back into a behavioral output
+// vector (ports in declaration order, LSB first).
+func UnpackVector(c *hdl.Circuit, words []uint64, lane int) sim.Vector {
+	var out sim.Vector
+	wi := 0
+	for _, p := range c.Outputs() {
+		v := bitvec.Zero(p.Width)
+		for b := 0; b < p.Width; b++ {
+			v = v.SetBit(b, (words[wi]>>uint(lane))&1)
+			wi++
+		}
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,345 @@
+package synth
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/hdl"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// crossValidate checks that the behavioral simulator and the synthesized
+// netlist agree on nCycles of pseudo-random stimulus. This is the central
+// synthesis-correctness property: both views derive from the same MHDL.
+func crossValidate(t *testing.T, src string, nCycles int, seed int64) {
+	t.Helper()
+	c, err := hdl.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	nl, err := Synthesize(c)
+	if err != nil {
+		t.Fatalf("synth: %v", err)
+	}
+	bsim, err := sim.New(c)
+	if err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+	ev, err := netlist.NewEvaluator(nl)
+	if err != nil {
+		t.Fatalf("eval: %v", err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	bsim.Reset()
+	ev.Reset()
+	ins := c.Inputs()
+	for cyc := 0; cyc < nCycles; cyc++ {
+		v := make(sim.Vector, len(ins))
+		for i, p := range ins {
+			v[i] = bitvec.New(rng.Uint64(), p.Width)
+		}
+		want, err := bsim.Step(v)
+		if err != nil {
+			t.Fatalf("cycle %d: %v", cyc, err)
+		}
+		words, err := ev.Eval(PackVector(c, v))
+		if err != nil {
+			t.Fatalf("cycle %d: %v", cyc, err)
+		}
+		got := UnpackVector(c, words, 0)
+		for j := range want {
+			if !got[j].Equal(want[j]) {
+				t.Fatalf("cycle %d output %d: netlist %v, simulator %v\ninput %v",
+					cyc, j, got[j], want[j], v)
+			}
+		}
+		ev.Clock()
+	}
+}
+
+func TestSynthCounterMatchesSim(t *testing.T) {
+	crossValidate(t, `
+circuit counter {
+  input en : bit;
+  input rst : bit;
+  output q : bits(3);
+  output sat : bit;
+  reg cnt : bits(3);
+  const LIMIT : bits(3) = 3'd6;
+  seq {
+    if rst == 1 { cnt = 3'd0; }
+    else if en == 1 and cnt < LIMIT { cnt = cnt + 1; }
+  }
+  comb {
+    q = cnt;
+    sat = cnt == LIMIT;
+  }
+}`, 200, 1)
+}
+
+func TestSynthArithmeticMatchesSim(t *testing.T) {
+	crossValidate(t, `
+circuit alu {
+  input a : bits(6);
+  input b : bits(6);
+  input op : bits(2);
+  output y : bits(6);
+  output z : bit;
+  comb {
+    case op {
+      when 2'd0: { y = a + b; }
+      when 2'd1: { y = a - b; }
+      when 2'd2: { y = a * b; }
+      default: { y = -a; }
+    }
+    z = y == 6'd0;
+  }
+}`, 300, 2)
+}
+
+func TestSynthComparisonsMatchSim(t *testing.T) {
+	crossValidate(t, `
+circuit cmp {
+  input a : bits(5);
+  input b : bits(5);
+  output lt : bit;
+  output le : bit;
+  output gt : bit;
+  output ge : bit;
+  output eq : bit;
+  output ne : bit;
+  comb {
+    lt = a < b; le = a <= b; gt = a > b; ge = a >= b;
+    eq = a == b; ne = a != b;
+  }
+}`, 300, 3)
+}
+
+func TestSynthShiftsMatchSim(t *testing.T) {
+	crossValidate(t, `
+circuit sh {
+  input a : bits(8);
+  input n : bits(4);
+  output l : bits(8);
+  output r : bits(8);
+  output lc : bits(8);
+  comb {
+    l = a << n;
+    r = a >> n;
+    lc = a << 2;
+  }
+}`, 300, 4)
+}
+
+func TestSynthBitOpsMatchSim(t *testing.T) {
+	crossValidate(t, `
+circuit bops {
+  input a : bits(4);
+  input b : bits(4);
+  input i : bits(3);
+  output o1 : bits(4);
+  output o2 : bit;
+  output o3 : bits(8);
+  output o4 : bits(2);
+  output red : bits(3);
+  comb {
+    o1 = (a nand b) xor (a nor b);
+    o2 = a[i];
+    o3 = a ++ b;
+    o4 = a[3:2];
+    red = (rand a) ++ (ror b) ++ (rxor a);
+  }
+}`, 300, 5)
+}
+
+func TestSynthDynamicBitWriteMatchesSim(t *testing.T) {
+	crossValidate(t, `
+circuit dynw {
+  input i : bits(2);
+  input v : bit;
+  output o : bits(4);
+  comb {
+    o = 4'b0000;
+    o[i] = v;
+  }
+}`, 100, 6)
+}
+
+func TestSynthForLoopMatchesSim(t *testing.T) {
+	crossValidate(t, `
+circuit parity8 {
+  input a : bits(8);
+  output p : bit;
+  wire acc : bits(9);
+  comb {
+    acc = 9'd0;
+    for i in 0 .. 7 {
+      acc[i + 1] = acc[i] xor a[i];
+    }
+    p = acc[8];
+  }
+}`, 200, 7)
+}
+
+func TestSynthRegisteredOutputMatchesSim(t *testing.T) {
+	crossValidate(t, `
+circuit pipe {
+  input d : bits(4);
+  output q : bits(4);
+  reg st : bits(4);
+  seq {
+    st = d;
+    q = st + 4'd1;
+  }
+}`, 100, 8)
+}
+
+func TestSynthSeqSwapMatchesSim(t *testing.T) {
+	crossValidate(t, `
+circuit swap {
+  input go : bit;
+  output oa : bits(4);
+  output ob : bits(4);
+  reg a : bits(4) = 4'd3;
+  reg b : bits(4) = 4'd12;
+  seq {
+    if go == 1 { a = b; b = a; }
+  }
+  comb { oa = a; ob = b; }
+}`, 60, 9)
+}
+
+func TestSynthNestedControlMatchesSim(t *testing.T) {
+	crossValidate(t, `
+circuit nest {
+  input a : bits(3);
+  input b : bits(3);
+  input m : bits(2);
+  output y : bits(3);
+  reg acc : bits(3);
+  seq {
+    case m {
+      when 2'd0: {
+        if a > b { acc = a; } else { acc = b; }
+      }
+      when 2'd1: { acc = acc + 3'd1; }
+      when 2'd2, 2'd3: {
+        if (a and b) == 3'd0 { acc = 3'd7; }
+      }
+    }
+  }
+  comb { y = acc; }
+}`, 300, 10)
+}
+
+func TestSynthNetlistShape(t *testing.T) {
+	c, err := hdl.Parse(`
+circuit tiny {
+  input a : bit;
+  input b : bit;
+  output o : bit;
+  comb { o = a and b; }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := Synthesize(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := nl.Stats()
+	if st.PIs != 2 || st.POs != 1 {
+		t.Errorf("ports: %+v", st)
+	}
+	if st.Gates == 0 || st.Gates > 3 {
+		t.Errorf("AND of two bits should be ~1 gate, got %d", st.Gates)
+	}
+	if st.FFs != 0 {
+		t.Errorf("combinational circuit has FFs: %+v", st)
+	}
+}
+
+func TestSynthSequentialHasFFs(t *testing.T) {
+	c, _ := hdl.Parse(`
+circuit r {
+  input d : bits(5);
+  output q : bits(5);
+  reg st : bits(5);
+  seq { st = d; }
+  comb { q = st; }
+}`)
+	nl, err := Synthesize(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(nl.FFs); got != 5 {
+		t.Errorf("FF count = %d, want 5", got)
+	}
+}
+
+func TestSynthRegInitValue(t *testing.T) {
+	c, _ := hdl.Parse(`
+circuit iv {
+  input d : bits(3);
+  output q : bits(3);
+  reg st : bits(3) = 3'd5;
+  seq { st = d; }
+  comb { q = st; }
+}`)
+	nl, err := Synthesize(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, _ := netlist.NewEvaluator(nl)
+	out, _ := ev.Eval(PackVector(c, sim.Vector{bitvec.Zero(3)}))
+	got := UnpackVector(c, out, 0)
+	if got[0].Uint() != 5 {
+		t.Errorf("power-on q = %d, want 5", got[0].Uint())
+	}
+}
+
+func TestPackVectorsLanes(t *testing.T) {
+	c, _ := hdl.Parse(`
+circuit id {
+  input a : bits(2);
+  output o : bits(2);
+  comb { o = a; }
+}`)
+	nl, _ := Synthesize(c)
+	ev, _ := netlist.NewEvaluator(nl)
+	vs := []sim.Vector{
+		{bitvec.New(0, 2)}, {bitvec.New(1, 2)}, {bitvec.New(2, 2)}, {bitvec.New(3, 2)},
+	}
+	out, _ := ev.Eval(PackVectors(c, vs))
+	for lane := range vs {
+		got := UnpackVector(c, out, lane)
+		if got[0].Uint() != uint64(lane) {
+			t.Errorf("lane %d: got %d", lane, got[0].Uint())
+		}
+	}
+}
+
+func TestStructuralHashingShrinksNetlist(t *testing.T) {
+	// The same subexpression appears twice; hashing must share it.
+	c, _ := hdl.Parse(`
+circuit share {
+  input a : bits(4);
+  input b : bits(4);
+  output o1 : bits(4);
+  output o2 : bits(4);
+  comb {
+    o1 = (a and b) xor a;
+    o2 = (a and b) xor b;
+  }
+}`)
+	nl, err := Synthesize(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 shared ANDs + 8 XORs = 12; without sharing it would be 16.
+	if g := nl.CombGateCount(); g > 12 {
+		t.Errorf("gate count %d suggests no structural sharing", g)
+	}
+}

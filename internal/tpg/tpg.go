@@ -1,0 +1,429 @@
+// Package tpg generates test data: deterministic pseudo-random sequences
+// (the paper's baseline, "pseudo-random test sets generally used as
+// initial test sets") and mutation-driven validation sequences (the
+// paper's contribution substrate: vectors selected because they kill live
+// mutants of the behavioral description).
+//
+// Both generators produce behavioral sequences (sim.Sequence); ToPatterns
+// bit-blasts them into gate-level patterns in the synthesizer's PI order
+// so the same data drives the stuck-at fault simulator.
+package tpg
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bitvec"
+	"repro/internal/faultsim"
+	"repro/internal/hdl"
+	"repro/internal/mutation"
+	"repro/internal/sim"
+)
+
+// ResetInputName is the input-port name treated as a synchronous reset by
+// the generators: asserted on the first cycle of every generated sequence
+// and deasserted afterwards, which is how the benchmark harnesses of the
+// ITC'99 suite drive their reset pins.
+const ResetInputName = "reset"
+
+// RandomSequence generates n cycles of pseudo-random stimulus for the
+// circuit with a validation-style reset protocol: an input named "reset"
+// is asserted only on cycle 0. Use it wherever behavioral test data is
+// simulated from power-on (mutation campaigns, equivalence estimation).
+func RandomSequence(c *hdl.Circuit, n int, seed int64) sim.Sequence {
+	return randomSequence(c, n, seed, false)
+}
+
+// RawRandomSequence generates n cycles of fully pseudo-random stimulus —
+// every input including reset toggles randomly. This models the paper's
+// baseline: a gate-level pseudo-random test set has no notion of which
+// primary input is the reset pin, which is precisely why it struggles to
+// reach deep sequential states and why validation data re-use pays off.
+func RawRandomSequence(c *hdl.Circuit, n int, seed int64) sim.Sequence {
+	return randomSequence(c, n, seed, true)
+}
+
+func randomSequence(c *hdl.Circuit, n int, seed int64, rawReset bool) sim.Sequence {
+	rng := rand.New(rand.NewSource(seed))
+	ins := c.Inputs()
+	seq := make(sim.Sequence, n)
+	for cyc := range seq {
+		v := make(sim.Vector, len(ins))
+		for i, p := range ins {
+			if p.Name == ResetInputName && !rawReset {
+				if cyc == 0 {
+					v[i] = bitvec.New(1, p.Width)
+				} else {
+					v[i] = bitvec.Zero(p.Width)
+				}
+				continue
+			}
+			v[i] = bitvec.New(rng.Uint64(), p.Width)
+		}
+		seq[cyc] = v
+	}
+	return seq
+}
+
+// ToPatterns bit-blasts a behavioral sequence into gate-level patterns in
+// the synthesizer's PI order (input ports in declaration order, LSB
+// first), one pattern per cycle.
+func ToPatterns(c *hdl.Circuit, seq sim.Sequence) []faultsim.Pattern {
+	ins := c.Inputs()
+	nBits := 0
+	for _, p := range ins {
+		nBits += p.Width
+	}
+	out := make([]faultsim.Pattern, len(seq))
+	for cyc, v := range seq {
+		p := make(faultsim.Pattern, 0, nBits)
+		for i, port := range ins {
+			for b := 0; b < port.Width; b++ {
+				p = append(p, uint8(v[i].Bit(b)))
+			}
+		}
+		out[cyc] = p
+	}
+	return out
+}
+
+// Mode selects the mutation-driven generation discipline.
+type Mode int
+
+const (
+	// PerMutant generates a dedicated killing segment for every target in
+	// turn, in the style of constraint-based mutation test generation
+	// (DeMillo & Offutt): even a mutant an earlier segment killed
+	// collaterally contributes its own value-specific stimulus. This is
+	// the default for generating validation data from a mutant sample.
+	PerMutant Mode = iota
+	// PerMutantSkip is PerMutant with mutation-adequate selection: targets
+	// already killed when their turn comes are skipped, so only the
+	// *hard* mutants of the target set shape the data. Operator-efficiency
+	// profiling uses this mode — an operator's sampling weight should
+	// reflect the marginal value of its difficult mutants.
+	PerMutantSkip
+	// Greedy maximizes kills per appended segment (best of Candidates),
+	// producing near-minimal sequences. Kept as an ablation of the
+	// generation discipline.
+	Greedy
+)
+
+// Options tunes the mutation-driven generator.
+type Options struct {
+	// Mode selects the generation discipline (default PerMutant).
+	Mode Mode
+	// Seed drives all pseudo-random choices.
+	Seed int64
+	// SegmentLen is the number of cycles appended per accepted candidate
+	// (1 for combinational circuits). Default 4 for sequential circuits,
+	// 1 otherwise.
+	SegmentLen int
+	// Candidates is how many random candidate segments compete per round.
+	// Default 8.
+	Candidates int
+	// MaxLen bounds the produced sequence length. Default 512.
+	MaxLen int
+	// MaxStall stops the search after this many consecutive rounds without
+	// a new kill. Default 12.
+	MaxStall int
+}
+
+func (o *Options) withDefaults(sequential bool) Options {
+	out := Options{SegmentLen: 1, Candidates: 8, MaxLen: 1024, MaxStall: 12}
+	if sequential {
+		out.SegmentLen = 4
+	}
+	if o == nil {
+		return out
+	}
+	out.Mode = o.Mode
+	if o.SegmentLen > 0 {
+		out.SegmentLen = o.SegmentLen
+	}
+	if o.Candidates > 0 {
+		out.Candidates = o.Candidates
+	}
+	if o.MaxLen > 0 {
+		out.MaxLen = o.MaxLen
+	}
+	if o.MaxStall > 0 {
+		out.MaxStall = o.MaxStall
+	}
+	out.Seed = o.Seed
+	return out
+}
+
+// Result is the outcome of mutation-driven test generation.
+type Result struct {
+	// Seq is the selected validation sequence (starting with the reset
+	// cycle). Every appended segment killed at least one target mutant.
+	Seq sim.Sequence
+	// Killed reports, per target mutant, whether the sequence kills it.
+	Killed []bool
+	// Rounds is the number of greedy rounds executed.
+	Rounds int
+}
+
+// liveMutant tracks one target mutant's simulator during generation.
+type liveMutant struct {
+	idx int
+	sim *sim.Simulator
+}
+
+// KilledCount returns the number of killed target mutants.
+func (r *Result) KilledCount() int {
+	n := 0
+	for _, k := range r.Killed {
+		if k {
+			n++
+		}
+	}
+	return n
+}
+
+// MutationTests builds a validation sequence that kills the given target
+// mutants. In PerMutant mode (default) every target receives a dedicated
+// killing segment — the constraint-based discipline of the paper's
+// reference [2] — even when an earlier segment already killed it
+// collaterally, which makes the data value-rich per sampled mutant. In
+// Greedy mode each appended segment maximizes fresh kills and collaterally
+// killed mutants are skipped, yielding near-minimal sequences.
+func MutationTests(c *hdl.Circuit, targets []*mutation.Mutant, opts *Options) (*Result, error) {
+	o := opts.withDefaults(len(c.Regs) > 0 || len(c.AssignedSignals(hdl.Seq)) > 0)
+	rng := rand.New(rand.NewSource(o.Seed))
+
+	orig, err := sim.New(c)
+	if err != nil {
+		return nil, err
+	}
+	all := make([]*liveMutant, 0, len(targets))
+	for i, m := range targets {
+		ms, err := sim.New(m.Circuit)
+		if err != nil {
+			return nil, fmt.Errorf("tpg: mutant %d: %w", i, err)
+		}
+		all = append(all, &liveMutant{idx: i, sim: ms})
+	}
+
+	res := &Result{Killed: make([]bool, len(targets))}
+	ins := c.Inputs()
+
+	// Cycle 0: reset vector, applied to everything.
+	resetVec := make(sim.Vector, len(ins))
+	for i, p := range ins {
+		if p.Name == ResetInputName {
+			resetVec[i] = bitvec.New(1, p.Width)
+		} else {
+			resetVec[i] = bitvec.Zero(p.Width)
+		}
+	}
+	orig.Reset()
+	for _, lm := range all {
+		lm.sim.Reset()
+	}
+	// stepAll advances the original and every target simulator (killed
+	// targets keep stepping so later dedicated segments see true state).
+	stepAll := func(v sim.Vector) error {
+		want, err := orig.Step(v)
+		if err != nil {
+			return err
+		}
+		for _, lm := range all {
+			got, err := lm.sim.Step(v)
+			if err != nil {
+				return err
+			}
+			if vectorsDiffer(want, got) {
+				res.Killed[lm.idx] = true
+			}
+		}
+		return nil
+	}
+	if err := stepAll(resetVec); err != nil {
+		return nil, err
+	}
+	res.Seq = append(res.Seq, resetVec)
+
+	randVec := func() sim.Vector {
+		v := make(sim.Vector, len(ins))
+		for i, p := range ins {
+			if p.Name == ResetInputName {
+				v[i] = bitvec.Zero(p.Width)
+				continue
+			}
+			v[i] = bitvec.New(rng.Uint64(), p.Width)
+		}
+		return v
+	}
+
+	// origOutputs simulates a candidate segment on the original from the
+	// current state (restored afterwards) and returns its outputs.
+	origOutputs := func(seg sim.Sequence) ([]sim.Vector, error) {
+		snap := orig.Snapshot()
+		outs := make([]sim.Vector, len(seg))
+		for k, v := range seg {
+			out, err := orig.Step(v)
+			if err != nil {
+				return nil, err
+			}
+			outs[k] = out
+		}
+		orig.Restore(snap)
+		return outs, nil
+	}
+
+	// segKills simulates the segment on one live mutant (state restored)
+	// and reports whether its outputs diverge from the original's.
+	segKills := func(lm *liveMutant, seg sim.Sequence, origOuts []sim.Vector) (bool, error) {
+		snap := lm.sim.Snapshot()
+		defer lm.sim.Restore(snap)
+		for k, v := range seg {
+			got, err := lm.sim.Step(v)
+			if err != nil {
+				return false, err
+			}
+			if vectorsDiffer(origOuts[k], got) {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+
+	// scoreCandidate counts fresh (still-live) kills for a candidate.
+	scoreCandidate := func(seg sim.Sequence, origOuts []sim.Vector) (int, error) {
+		kills := 0
+		for _, lm := range all {
+			if res.Killed[lm.idx] {
+				continue
+			}
+			k, err := segKills(lm, seg, origOuts)
+			if err != nil {
+				return 0, err
+			}
+			if k {
+				kills++
+			}
+		}
+		return kills, nil
+	}
+
+	liveCount := func() int {
+		n := 0
+		for _, k := range res.Killed {
+			if !k {
+				n++
+			}
+		}
+		return n
+	}
+
+	newSegment := func() sim.Sequence {
+		segLen := min(o.SegmentLen, o.MaxLen-len(res.Seq))
+		seg := make(sim.Sequence, segLen)
+		for k := range seg {
+			seg[k] = randVec()
+		}
+		return seg
+	}
+
+	appendSegment := func(seg sim.Sequence) error {
+		for _, v := range seg {
+			if err := stepAll(v); err != nil {
+				return err
+			}
+			res.Seq = append(res.Seq, v)
+		}
+		return nil
+	}
+
+	if o.Mode == Greedy {
+		stall := 0
+		for liveCount() > 0 && len(res.Seq) < o.MaxLen && stall < o.MaxStall {
+			res.Rounds++
+			var bestSeg sim.Sequence
+			bestKills := 0
+			for ci := 0; ci < o.Candidates; ci++ {
+				seg := newSegment()
+				origOuts, err := origOutputs(seg)
+				if err != nil {
+					return nil, err
+				}
+				kills, err := scoreCandidate(seg, origOuts)
+				if err != nil {
+					return nil, err
+				}
+				if kills > bestKills || bestSeg == nil {
+					bestSeg, bestKills = seg, kills
+				}
+			}
+			if bestKills == 0 {
+				stall++
+				continue
+			}
+			stall = 0
+			if err := appendSegment(bestSeg); err != nil {
+				return nil, err
+			}
+		}
+		return res, nil
+	}
+
+	// PerMutant: every target gets a dedicated search for a killing
+	// segment from the current stream state, whether or not an earlier
+	// segment killed it collaterally. Candidates are first screened
+	// against the target alone (cheap); only qualifying segments pay for
+	// full collateral scoring (used as the tie-break).
+	for ti := range targets {
+		if len(res.Seq) >= o.MaxLen {
+			break
+		}
+		if o.Mode == PerMutantSkip && res.Killed[ti] {
+			continue
+		}
+		target := all[ti]
+		found := false
+		for round := 0; round < o.MaxStall && !found && len(res.Seq) < o.MaxLen; round++ {
+			res.Rounds++
+			var bestSeg sim.Sequence
+			bestKills := -1
+			for ci := 0; ci < o.Candidates; ci++ {
+				seg := newSegment()
+				origOuts, err := origOutputs(seg)
+				if err != nil {
+					return nil, err
+				}
+				hits, err := segKills(target, seg, origOuts)
+				if err != nil {
+					return nil, err
+				}
+				if !hits {
+					continue
+				}
+				kills, err := scoreCandidate(seg, origOuts)
+				if err != nil {
+					return nil, err
+				}
+				if kills > bestKills {
+					bestSeg, bestKills = seg, kills
+				}
+			}
+			if bestSeg != nil {
+				if err := appendSegment(bestSeg); err != nil {
+					return nil, err
+				}
+				found = true
+			}
+		}
+	}
+	return res, nil
+}
+
+func vectorsDiffer(a, b sim.Vector) bool {
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return true
+		}
+	}
+	return false
+}
