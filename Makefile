@@ -1,0 +1,38 @@
+# Build, test and benchmark entry points. CI (.github/workflows/ci.yml)
+# runs the same commands; keep the two in sync.
+
+GO ?= go
+
+.PHONY: all build vet fmt-check test race bench bench-smoke ci clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full measured run; writes BENCH_<sha>.json + .txt via scripts/bench.sh.
+# Override BENCHTIME (e.g. BENCHTIME=2s) for stabler numbers.
+bench:
+	sh scripts/bench.sh
+
+# One iteration of everything: the CI perf-path smoke job.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+ci: build vet fmt-check race bench-smoke
+
+clean:
+	rm -f BENCH_*.json BENCH_*.txt

@@ -1,13 +1,13 @@
 // Benchmark harness: one benchmark per table of the paper's evaluation
-// plus the motivation experiment and the ablations of DESIGN.md §6. Each
-// table benchmark prints the regenerated rows once, so
+// plus the motivation experiment and the engine/discipline ablations.
+// Each table benchmark prints the regenerated rows once, so
 //
 //	go test -bench=. -benchmem
 //
-// reproduces the paper's numbers alongside the timing profile. The
-// expected *shape* (who wins, roughly by how much) is recorded in
-// EXPERIMENTS.md; the assertions here only guard that the experiments
-// complete and stay self-consistent.
+// reproduces the paper's numbers alongside the timing profile (README.md
+// documents the entry points; scripts/bench.sh records a machine-readable
+// summary). The assertions here only guard that the experiments complete
+// and stay self-consistent.
 package repro
 
 import (
@@ -305,6 +305,26 @@ func BenchmarkBehavioralSim(b *testing.B) {
 	b.ReportMetric(float64(len(seq)*b.N)/b.Elapsed().Seconds(), "cycles/s")
 }
 
+// BenchmarkBehavioralSimCompiled is BenchmarkBehavioralSim on the
+// compiled engine; the ratio between the two is the per-cycle win of flat
+// instruction streams over AST walking.
+func BenchmarkBehavioralSimCompiled(b *testing.B) {
+	c := circuits.MustLoad("b03")
+	p, err := sim.Compile(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := p.NewMachine()
+	seq := tpg.RandomSequence(c, 1024, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Run(seq); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(seq)*b.N)/b.Elapsed().Seconds(), "cycles/s")
+}
+
 func BenchmarkSynthesize(b *testing.B) {
 	c := circuits.MustLoad("c880")
 	for i := 0; i < b.N; i++ {
@@ -392,6 +412,32 @@ func BenchmarkMutationScore(b *testing.B) {
 	}
 	b.ReportMetric(float64(len(ms)*len(seq)*b.N)/b.Elapsed().Seconds(), "mutantcycles/s")
 }
+
+// benchmarkMutationScoreEngine times one-shot scoring at a fixed worker
+// setting, compile included for the pooled engine. Flows amortize that
+// compile over many calls via mutscore.Scorer, so this is the pooled
+// engine's worst case, not its steady state.
+func benchmarkMutationScoreEngine(b *testing.B, workers int) {
+	c := circuits.MustLoad("b03")
+	ms := mutation.Generate(c)
+	seq := tpg.RandomSequence(c, 256, 1)
+	cfg := mutscore.Config{Workers: workers}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.Kills(c, ms, seq); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(ms)*len(seq)*b.N)/b.Elapsed().Seconds(), "mutantcycles/s")
+}
+
+// BenchmarkMutationScoreSerial is the legacy path: one AST-interpreter
+// run per mutant, strictly sequential.
+func BenchmarkMutationScoreSerial(b *testing.B) { benchmarkMutationScoreEngine(b, 1) }
+
+// BenchmarkMutationScorePooled is the mutant-parallel compiled engine at
+// the production setting (all cores).
+func BenchmarkMutationScorePooled(b *testing.B) { benchmarkMutationScoreEngine(b, 0) }
 
 func BenchmarkNetlistEval64Lanes(b *testing.B) {
 	c := circuits.MustLoad("c880")

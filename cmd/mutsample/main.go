@@ -20,6 +20,7 @@
 //	-equiv N       equivalence campaign budget (default 1024)
 //	-frac F        sampling fraction (default 0.10)
 //	-repeats N     repetitions averaged per measurement (default 5)
+//	-workers N     mutant-scoring pool size (0 = all cores, 1 = serial legacy)
 package main
 
 import (
@@ -95,7 +96,7 @@ commands:
   testability <circuit>      SCOAP controllability/observability report
   faultsim <circuit>         fault-simulate pseudo-random data, print curve
 
-experiment flags: -seed N  -horizon N  -equiv N  -frac F
+experiment flags: -seed N  -horizon N  -equiv N  -frac F  -workers N
 `)
 }
 
@@ -107,6 +108,7 @@ func experimentFlags(fs *flag.FlagSet) func() core.Config {
 	equiv := fs.Int("equiv", 1024, "equivalence campaign budget")
 	frac := fs.Float64("frac", 0.10, "mutant sampling fraction")
 	repeats := fs.Int("repeats", 0, "repetitions averaged per measurement (default 5)")
+	workers := fs.Int("workers", 0, "mutant-scoring pool size (0 = all cores, 1 = serial legacy)")
 	return func() core.Config {
 		return core.Config{
 			Seed:        *seed,
@@ -114,6 +116,7 @@ func experimentFlags(fs *flag.FlagSet) func() core.Config {
 			EquivBudget: *equiv,
 			SampleFrac:  *frac,
 			Repeats:     *repeats,
+			Workers:     *workers,
 		}
 	}
 }

@@ -9,7 +9,7 @@
 // operator's class is sampled in proportion to its measured stuck-at
 // fault-coverage efficiency (NLFCE) instead of uniformly.
 //
-// See DESIGN.md for the system inventory, EXPERIMENTS.md for
-// paper-vs-measured results, and bench_test.go for the harness that
-// regenerates every table of the paper's evaluation.
+// See README.md for the package inventory, build/test/benchmark entry
+// points and the two-engine simulation design, and bench_test.go for the
+// harness that regenerates every table of the paper's evaluation.
 package repro

@@ -1,4 +1,4 @@
-// ATPG top-off: the paper's §1 motivation experiment (E3 in DESIGN.md).
+// ATPG top-off: the paper's §1 motivation experiment (E3).
 // Validation data is "free" by the time structural test generation
 // starts; applying it as a pre-test should shrink the deterministic ATPG
 // effort (PODEM calls, backtracks) and the number of top-off vectors

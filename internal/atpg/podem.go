@@ -6,7 +6,7 @@
 // The paper's motivation is that mutation-derived validation data can be
 // applied as a free pre-test before ATPG, reducing deterministic
 // test-generation effort; this package provides the ATPG whose effort is
-// measured (experiment E3 in DESIGN.md).
+// measured (experiment E3, see internal/core).
 package atpg
 
 import (

@@ -9,8 +9,7 @@
 // descriptions; gate counts after synthesis land in the same ballpark as
 // the originals, and — what matters for the paper's experiments — the
 // high-level description and the gate-level netlist are two views of the
-// same design, exactly as in the paper's flow. See DESIGN.md
-// "Substitutions".
+// same design, exactly as in the paper's flow.
 package circuits
 
 import (

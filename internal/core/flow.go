@@ -7,7 +7,7 @@
 //	                                                       ▼
 //	         metrics (MFC/RFC/ΔFC%/ΔL%/NLFCE), mutation score
 //
-// and exposes the three experiments of DESIGN.md: per-operator efficiency
+// and exposes the paper's three experiments: per-operator efficiency
 // profiling (Table 1), test-oriented versus random mutant sampling
 // (Table 2), and the ATPG top-off motivation experiment (E3).
 package core
@@ -60,6 +60,15 @@ type Config struct {
 	// repeat), so operators with very different class sizes are compared
 	// on the same data-length scale. Default 40.
 	ProfileCap int
+	// Workers sizes the mutant-scoring pool (see mutscore.Config): 0 uses
+	// all cores with the compiled engine, 1 the legacy serial interpreter
+	// kept for differential testing. Results are identical either way.
+	Workers int
+}
+
+// mutscoreConfig projects the flow configuration onto the scoring engine.
+func (c Config) mutscoreConfig() mutscore.Config {
+	return mutscore.Config{Workers: c.Workers}
 }
 
 func (c Config) withDefaults() Config {
@@ -103,6 +112,20 @@ type Flow struct {
 	fullTG     *tpg.Result
 	equivalent []bool
 	profiles   []OperatorProfile
+	scorer     *mutscore.Scorer
+}
+
+// fullScorer returns the cached scorer over the full mutant population,
+// so repeated strategy evaluations don't recompile it.
+func (f *Flow) fullScorer() (*mutscore.Scorer, error) {
+	if f.scorer == nil {
+		s, err := f.cfg.mutscoreConfig().NewScorer(f.Circuit, f.Mutants)
+		if err != nil {
+			return nil, err
+		}
+		f.scorer = s
+	}
+	return f.scorer, nil
 }
 
 // NewFlow elaborates a circuit: synthesizes the netlist, enumerates the
@@ -257,7 +280,7 @@ func meanEfficiency(effs []metrics.Efficiency) metrics.Efficiency {
 
 // DeriveWeights converts operator profiles into sampling weights: weight ∝
 // max(NLFCE, 0), floored at floor × max so no operator class disappears
-// entirely (DESIGN.md decision 1). With no positive NLFCE anywhere the
+// entirely, so no class loses all representation. With no positive NLFCE anywhere the
 // weights degenerate to uniform.
 func DeriveWeights(profiles []OperatorProfile, floor float64) sampling.Weights {
 	w := make(sampling.Weights, len(profiles))
@@ -332,8 +355,11 @@ func (f *Flow) Equivalent() ([]bool, error) {
 	if err != nil {
 		return nil, err
 	}
-	eq, err := mutscore.EstimateEquivalence(f.Circuit, f.Mutants,
-		[]sim.Sequence{full.Seq},
+	scorer, err := f.fullScorer()
+	if err != nil {
+		return nil, err
+	}
+	eq, err := scorer.EstimateEquivalence([]sim.Sequence{full.Seq},
 		&mutscore.EquivalenceOptions{Budget: f.cfg.EquivBudget, Seed: f.cfg.Seed + 2000})
 	if err != nil {
 		return nil, err
@@ -411,6 +437,10 @@ func (f *Flow) evalStrategy(name string, draw func(rep int64) []*mutation.Mutant
 	if err != nil {
 		return nil, err
 	}
+	scorer, err := f.fullScorer()
+	if err != nil {
+		return nil, err
+	}
 	out := &StrategyResult{Strategy: name}
 	var effs []metrics.Efficiency
 	for rep := 0; rep < f.cfg.Repeats; rep++ {
@@ -419,7 +449,7 @@ func (f *Flow) evalStrategy(name string, draw func(rep int64) []*mutation.Mutant
 		if err != nil {
 			return nil, err
 		}
-		killed, err := mutscore.Kills(f.Circuit, f.Mutants, tg.Seq)
+		killed, err := scorer.Kills(tg.Seq)
 		if err != nil {
 			return nil, err
 		}

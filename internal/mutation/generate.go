@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/bitvec"
 	"repro/internal/hdl"
+	"repro/internal/par"
 )
 
 // Mutant is one faulty version of a circuit.
@@ -46,6 +47,10 @@ type site struct {
 // operators (all ten if none are given). Mutants that fail the relaxed
 // semantic re-check (stillborn) are discarded. The input circuit must have
 // passed hdl.Check; it is never modified.
+//
+// Construction (clone, apply, re-check) is independent per site and runs
+// on a worker pool; enumeration order, surviving set and mutant IDs are
+// identical to a serial build.
 func Generate(c *hdl.Circuit, ops ...Operator) []*Mutant {
 	if len(ops) == 0 {
 		ops = AllOperators()
@@ -58,23 +63,37 @@ func Generate(c *hdl.Circuit, ops ...Operator) []*Mutant {
 		enabled[op] = true
 	}
 	sites := enumerate(c, enabled)
+	built := make([]*hdl.Circuit, len(sites))
+	par.Indexed(len(sites), 0, func(_, i int) {
+		built[i] = buildMutant(c, sites[i])
+	})
 	mutants := make([]*Mutant, 0, len(sites))
-	for _, st := range sites {
-		mc := apply(c, st)
+	for i, mc := range built {
 		if mc == nil {
 			continue
 		}
-		if err := hdl.Check(mc, hdl.Relaxed); err != nil {
-			continue // stillborn: syntactically produced but semantically dead
-		}
 		mutants = append(mutants, &Mutant{
 			ID:      len(mutants),
-			Op:      st.op,
-			Desc:    st.desc,
+			Op:      sites[i].op,
+			Desc:    sites[i].desc,
 			Circuit: mc,
 		})
 	}
 	return mutants
+}
+
+// buildMutant applies one site to a fresh clone and re-checks it,
+// returning nil for stillborn mutants (syntactically produced but
+// semantically dead).
+func buildMutant(c *hdl.Circuit, st site) *hdl.Circuit {
+	mc := apply(c, st)
+	if mc == nil {
+		return nil
+	}
+	if err := hdl.Check(mc, hdl.Relaxed); err != nil {
+		return nil
+	}
+	return mc
 }
 
 // CountByOperator tallies a mutant population per operator.

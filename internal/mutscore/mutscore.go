@@ -1,13 +1,19 @@
 // Package mutscore measures test-set quality against a mutant population:
 // killed/live classification, the mutation score MS = K / (M - E), and the
-// budgeted-campaign estimate of the equivalent-mutant count E. Mutant
-// simulation is embarrassingly parallel and runs on a worker pool.
+// budgeted-campaign estimate of the equivalent-mutant count E.
+//
+// Mutant simulation is embarrassingly parallel. The default engine
+// compiles every circuit once (sim.Compile) and scores batches of mutants
+// on a worker pool with early-kill dropping against a shared good-circuit
+// trace; Config.Workers sizes the pool, and a Scorer carries the
+// compilation across calls so campaigns don't recompile. Workers == 1
+// selects the legacy serial AST-interpreter path, kept for differential
+// testing — both paths produce identical results (see parity_test.go).
 package mutscore
 
 import (
+	"errors"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"repro/internal/hdl"
 	"repro/internal/mutation"
@@ -15,10 +21,240 @@ import (
 	"repro/internal/tpg"
 )
 
+// Config tunes mutant scoring. The zero value is the fast default.
+type Config struct {
+	// Workers sizes the scoring pool: 0 uses all cores (compiled engine),
+	// n > 1 uses exactly n workers (compiled engine), and 1 selects the
+	// legacy serial interpreter path kept for differential testing.
+	// Results are identical for every setting.
+	Workers int
+}
+
+func (cfg Config) legacy() bool { return cfg.Workers == 1 }
+
+// Scorer scores one mutant population against arbitrary sequences. The
+// compiled engine's programs are built once at construction, so callers
+// that score repeatedly (strategy evaluation, equivalence campaigns)
+// amortize compilation. A Scorer is safe for sequential reuse; methods
+// are deterministic for every worker count.
+type Scorer struct {
+	cfg     Config
+	c       *hdl.Circuit
+	mutants []*mutation.Mutant
+	good    *sim.Program   // nil on the legacy path
+	progs   []*sim.Program // nil on the legacy path
+}
+
+// NewScorer builds a scorer for the population. Under the legacy
+// configuration (Workers == 1) no compilation happens and every call runs
+// the serial interpreter.
+func (cfg Config) NewScorer(c *hdl.Circuit, mutants []*mutation.Mutant) (*Scorer, error) {
+	s := &Scorer{cfg: cfg, c: c, mutants: mutants}
+	if cfg.legacy() {
+		return s, nil
+	}
+	good, err := sim.Compile(c)
+	if err != nil {
+		return nil, err
+	}
+	cs := make([]*hdl.Circuit, len(mutants))
+	for i, m := range mutants {
+		cs[i] = m.Circuit
+	}
+	progs, err := sim.CompileBatch(cs, cfg.Workers)
+	if err != nil {
+		return nil, s.wrapBatchErr(err, nil)
+	}
+	s.good, s.progs = good, progs
+	return s, nil
+}
+
+// wrapBatchErr attaches the failing mutant's identity to a pool error.
+// idx maps batch positions back to population indices for subset runs.
+func (s *Scorer) wrapBatchErr(err error, idx []int) error {
+	var be *sim.BatchError
+	if !errors.As(err, &be) {
+		return err
+	}
+	mi := be.Index
+	if idx != nil {
+		mi = idx[be.Index]
+	}
+	return fmt.Errorf("mutscore: mutant %d (%s): %w", mi, s.mutants[mi].Desc, be.Err)
+}
+
 // FirstKillCycles runs every mutant against the sequence and returns, per
 // mutant, the first cycle whose outputs differ from the original's, or -1
 // if the sequence never distinguishes it.
+func (s *Scorer) FirstKillCycles(seq sim.Sequence) ([]int, error) {
+	if s.cfg.legacy() {
+		return firstKillCyclesSerial(s.c, s.mutants, seq)
+	}
+	goodOuts, err := s.good.NewMachine().Run(seq)
+	if err != nil {
+		return nil, err
+	}
+	cycles, err := sim.FirstKillBatch(s.progs, seq, goodOuts, s.cfg.Workers)
+	if err != nil {
+		return nil, s.wrapBatchErr(err, nil)
+	}
+	return cycles, nil
+}
+
+// Kills classifies each mutant as killed (true) or live under the sequence.
+func (s *Scorer) Kills(seq sim.Sequence) ([]bool, error) {
+	cycles, err := s.FirstKillCycles(seq)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]bool, len(cycles))
+	for i, cy := range cycles {
+		out[i] = cy >= 0
+	}
+	return out, nil
+}
+
+// killsSubset scores only the mutants listed in idx and reports a kill
+// flag per entry of idx, letting a campaign drop already-killed mutants.
+func (s *Scorer) killsSubset(idx []int, seq sim.Sequence) ([]bool, error) {
+	goodOuts, err := s.good.NewMachine().Run(seq)
+	if err != nil {
+		return nil, err
+	}
+	sub := make([]*sim.Program, len(idx))
+	for i, mi := range idx {
+		sub[i] = s.progs[mi]
+	}
+	cycles, err := sim.FirstKillBatch(sub, seq, goodOuts, s.cfg.Workers)
+	if err != nil {
+		return nil, s.wrapBatchErr(err, idx)
+	}
+	out := make([]bool, len(cycles))
+	for i, cy := range cycles {
+		out[i] = cy >= 0
+	}
+	return out, nil
+}
+
+// EstimateEquivalence runs a budgeted campaign — a long pseudo-random
+// sequence plus any caller-provided sequences — and flags as *probably
+// equivalent* every mutant that nothing killed. True equivalence is
+// undecidable in general; the paper's E term is approximated this way,
+// with the budget as the knob. The compiled engine reuses the scorer's
+// compilation across all campaign sequences and drops mutants at their
+// first kill.
+func (s *Scorer) EstimateEquivalence(extra []sim.Sequence, opts *EquivalenceOptions) ([]bool, error) {
+	o := EquivalenceOptions{Budget: 2048}
+	if opts != nil {
+		if opts.Budget > 0 {
+			o.Budget = opts.Budget
+		}
+		o.Seed = opts.Seed
+	}
+	equivalent := make([]bool, len(s.mutants))
+	for i := range equivalent {
+		equivalent[i] = true
+	}
+	campaign := append([]sim.Sequence{tpg.RandomSequence(s.c, o.Budget, o.Seed)}, extra...)
+
+	if s.cfg.legacy() {
+		for _, seq := range campaign {
+			if len(seq) == 0 {
+				continue
+			}
+			killed, err := s.Kills(seq)
+			if err != nil {
+				return nil, err
+			}
+			for i, k := range killed {
+				if k {
+					equivalent[i] = false
+				}
+			}
+		}
+		return equivalent, nil
+	}
+
+	live := make([]int, len(s.mutants))
+	for i := range live {
+		live[i] = i
+	}
+	for _, seq := range campaign {
+		if len(seq) == 0 || len(live) == 0 {
+			continue
+		}
+		killed, err := s.killsSubset(live, seq)
+		if err != nil {
+			return nil, err
+		}
+		still := live[:0]
+		for i, k := range killed {
+			if k {
+				equivalent[live[i]] = false
+			} else {
+				still = append(still, live[i])
+			}
+		}
+		live = still
+	}
+	return equivalent, nil
+}
+
+// --- one-shot conveniences ---------------------------------------------------
+
+// FirstKillCycles scores the population against one sequence, compiling
+// per call. Build a Scorer instead when scoring the same population
+// repeatedly.
+func (cfg Config) FirstKillCycles(c *hdl.Circuit, mutants []*mutation.Mutant, seq sim.Sequence) ([]int, error) {
+	s, err := cfg.NewScorer(c, mutants)
+	if err != nil {
+		return nil, err
+	}
+	return s.FirstKillCycles(seq)
+}
+
+// Kills classifies each mutant as killed (true) or live under the sequence.
+func (cfg Config) Kills(c *hdl.Circuit, mutants []*mutation.Mutant, seq sim.Sequence) ([]bool, error) {
+	s, err := cfg.NewScorer(c, mutants)
+	if err != nil {
+		return nil, err
+	}
+	return s.Kills(seq)
+}
+
+// EstimateEquivalence runs the equivalence campaign with a freshly built
+// scorer.
+func (cfg Config) EstimateEquivalence(c *hdl.Circuit, mutants []*mutation.Mutant, extra []sim.Sequence, opts *EquivalenceOptions) ([]bool, error) {
+	s, err := cfg.NewScorer(c, mutants)
+	if err != nil {
+		return nil, err
+	}
+	return s.EstimateEquivalence(extra, opts)
+}
+
+// FirstKillCycles runs every mutant against the sequence with the default
+// configuration (compiled engine, all cores).
 func FirstKillCycles(c *hdl.Circuit, mutants []*mutation.Mutant, seq sim.Sequence) ([]int, error) {
+	return Config{}.FirstKillCycles(c, mutants, seq)
+}
+
+// Kills classifies each mutant as killed (true) or live under the
+// sequence with the default configuration.
+func Kills(c *hdl.Circuit, mutants []*mutation.Mutant, seq sim.Sequence) ([]bool, error) {
+	return Config{}.Kills(c, mutants, seq)
+}
+
+// EstimateEquivalence runs the campaign with the default configuration.
+func EstimateEquivalence(c *hdl.Circuit, mutants []*mutation.Mutant, extra []sim.Sequence, opts *EquivalenceOptions) ([]bool, error) {
+	return Config{}.EstimateEquivalence(c, mutants, extra, opts)
+}
+
+// --- legacy serial path ------------------------------------------------------
+
+// firstKillCyclesSerial is the original engine: one AST-walking
+// interpreter run per mutant, strictly sequential. It is the reference
+// the compiled pool is differentially tested against.
+func firstKillCyclesSerial(c *hdl.Circuit, mutants []*mutation.Mutant, seq sim.Sequence) ([]int, error) {
 	origSim, err := sim.New(c)
 	if err != nil {
 		return nil, err
@@ -27,38 +263,18 @@ func FirstKillCycles(c *hdl.Circuit, mutants []*mutation.Mutant, seq sim.Sequenc
 	if err != nil {
 		return nil, err
 	}
-
 	out := make([]int, len(mutants))
-	errs := make([]error, len(mutants))
-	var wg sync.WaitGroup
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(mutants) && len(mutants) > 0 {
-		workers = len(mutants)
-	}
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				out[i], errs[i] = firstKill(mutants[i], seq, origOuts)
-			}
-		}()
-	}
-	for i := range mutants {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	for i, e := range errs {
-		if e != nil {
-			return nil, fmt.Errorf("mutscore: mutant %d (%s): %w", i, mutants[i].Desc, e)
+	for i, m := range mutants {
+		cy, err := firstKillInterpreted(m, seq, origOuts)
+		if err != nil {
+			return nil, fmt.Errorf("mutscore: mutant %d (%s): %w", i, m.Desc, err)
 		}
+		out[i] = cy
 	}
 	return out, nil
 }
 
-func firstKill(m *mutation.Mutant, seq sim.Sequence, origOuts []sim.Vector) (int, error) {
+func firstKillInterpreted(m *mutation.Mutant, seq sim.Sequence, origOuts []sim.Vector) (int, error) {
 	ms, err := sim.New(m.Circuit)
 	if err != nil {
 		return -1, err
@@ -78,18 +294,7 @@ func firstKill(m *mutation.Mutant, seq sim.Sequence, origOuts []sim.Vector) (int
 	return -1, nil
 }
 
-// Kills classifies each mutant as killed (true) or live under the sequence.
-func Kills(c *hdl.Circuit, mutants []*mutation.Mutant, seq sim.Sequence) ([]bool, error) {
-	cycles, err := FirstKillCycles(c, mutants, seq)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]bool, len(cycles))
-	for i, cy := range cycles {
-		out[i] = cy >= 0
-	}
-	return out, nil
-}
+// --- scoring -----------------------------------------------------------------
 
 // Score computes the mutation score MS = K / (M - E). Mutants flagged
 // equivalent are excluded from the denominator; a killed mutant is never
@@ -121,40 +326,4 @@ type EquivalenceOptions struct {
 	Budget int
 	// Seed drives the campaign stimulus.
 	Seed int64
-}
-
-// EstimateEquivalence runs a budgeted campaign — a long pseudo-random
-// sequence plus any caller-provided sequences — and flags as *probably
-// equivalent* every mutant that nothing killed. True equivalence is
-// undecidable in general; the paper's E term is approximated this way,
-// with the budget as the knob (ablation A3 in DESIGN.md measures its
-// sensitivity).
-func EstimateEquivalence(c *hdl.Circuit, mutants []*mutation.Mutant, extra []sim.Sequence, opts *EquivalenceOptions) ([]bool, error) {
-	o := EquivalenceOptions{Budget: 2048}
-	if opts != nil {
-		if opts.Budget > 0 {
-			o.Budget = opts.Budget
-		}
-		o.Seed = opts.Seed
-	}
-	equivalent := make([]bool, len(mutants))
-	for i := range equivalent {
-		equivalent[i] = true
-	}
-	campaign := append([]sim.Sequence{tpg.RandomSequence(c, o.Budget, o.Seed)}, extra...)
-	for _, seq := range campaign {
-		if len(seq) == 0 {
-			continue
-		}
-		killed, err := Kills(c, mutants, seq)
-		if err != nil {
-			return nil, err
-		}
-		for i, k := range killed {
-			if k {
-				equivalent[i] = false
-			}
-		}
-	}
-	return equivalent, nil
 }

@@ -1,0 +1,55 @@
+// Package par provides the one concurrency shape this repository uses:
+// a fixed-size worker pool fanning a function out over job indices, with
+// results written by index so every caller stays deterministic regardless
+// of worker count. The mutant scoring pool, batch compilation and mutant
+// construction all share it.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a worker-count knob: n <= 0 selects all cores, and the
+// count never exceeds jobs (no idle goroutines).
+func Workers(n, jobs int) int {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > jobs {
+		n = jobs
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Indexed runs fn for every index in [0, jobs) on a pool of the given
+// size (resolved through Workers). fn receives the worker number and the
+// job index; it must confine its writes to per-index or per-worker state.
+func Indexed(jobs, workers int, fn func(w, i int)) {
+	workers = Workers(workers, jobs)
+	if workers <= 1 {
+		for i := 0; i < jobs; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := range next {
+				fn(w, i)
+			}
+		}(w)
+	}
+	for i := 0; i < jobs; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

@@ -1,0 +1,92 @@
+// Mutant-parallel batch execution. Scoring a mutant population is
+// embarrassingly parallel — every mutant runs the same stimulus against
+// the same reference trace — so the pool fans circuits out over a fixed
+// worker count with per-worker machine state and drops each mutant at its
+// first divergence (early kill). Results are written by index, so the
+// outcome is deterministic and independent of the worker count.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/hdl"
+	"repro/internal/par"
+)
+
+// BatchError reports which item of a batch operation failed, so callers
+// can attach their own context (mutant descriptions, say) via errors.As.
+type BatchError struct {
+	Index int // position in the batch
+	Err   error
+}
+
+func (e *BatchError) Error() string { return fmt.Sprintf("batch item %d: %v", e.Index, e.Err) }
+
+// Unwrap returns the underlying error.
+func (e *BatchError) Unwrap() error { return e.Err }
+
+// firstBatchError wraps the lowest-index failure, keeping the reported
+// error deterministic under any worker count.
+func firstBatchError(errs []error) error {
+	for i, err := range errs {
+		if err != nil {
+			return &BatchError{Index: i, Err: err}
+		}
+	}
+	return nil
+}
+
+// CompileBatch compiles circuits concurrently, preserving order. workers
+// follows the usual knob convention (<= 0 means all cores).
+func CompileBatch(cs []*hdl.Circuit, workers int) ([]*Program, error) {
+	progs := make([]*Program, len(cs))
+	errs := make([]error, len(cs))
+	par.Indexed(len(cs), workers, func(_, i int) {
+		progs[i], errs[i] = Compile(cs[i])
+	})
+	if err := firstBatchError(errs); err != nil {
+		return nil, err
+	}
+	return progs, nil
+}
+
+// FirstKillBatch runs every program against the sequence and returns, per
+// program, the first cycle whose outputs differ from goodOuts (the
+// reference circuit's trace over the same sequence), or -1 if the
+// sequence never distinguishes it. A program stops simulating at its
+// first divergence.
+func FirstKillBatch(progs []*Program, seq Sequence, goodOuts []Vector, workers int) ([]int, error) {
+	out := make([]int, len(progs))
+	errs := make([]error, len(progs))
+	workers = par.Workers(workers, len(progs))
+	scratch := make([]Vector, workers)
+	par.Indexed(len(progs), workers, func(w, i int) {
+		out[i], errs[i] = firstKillCompiled(progs[i], seq, goodOuts, &scratch[w])
+	})
+	if err := firstBatchError(errs); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// firstKillCompiled simulates one mutant program against the good trace,
+// reusing the worker's output scratch buffer across mutants.
+func firstKillCompiled(p *Program, seq Sequence, goodOuts []Vector, scratch *Vector) (int, error) {
+	m := p.NewMachine()
+	if cap(*scratch) < p.NumOutputs() {
+		*scratch = make(Vector, p.NumOutputs())
+	}
+	got := (*scratch)[:p.NumOutputs()]
+	for cyc, v := range seq {
+		if err := m.StepInto(v, got); err != nil {
+			return -1, err
+		}
+		want := goodOuts[cyc]
+		for j := range got {
+			if !got[j].Equal(want[j]) {
+				return cyc, nil
+			}
+		}
+	}
+	return -1, nil
+}

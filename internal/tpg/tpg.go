@@ -10,6 +10,7 @@
 package tpg
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
@@ -165,10 +166,10 @@ type Result struct {
 	Rounds int
 }
 
-// liveMutant tracks one target mutant's simulator during generation.
+// liveMutant tracks one target mutant's machine during generation.
 type liveMutant struct {
 	idx int
-	sim *sim.Simulator
+	sim *sim.Machine
 }
 
 // KilledCount returns the number of killed target mutants.
@@ -193,17 +194,29 @@ func MutationTests(c *hdl.Circuit, targets []*mutation.Mutant, opts *Options) (*
 	o := opts.withDefaults(len(c.Regs) > 0 || len(c.AssignedSignals(hdl.Seq)) > 0)
 	rng := rand.New(rand.NewSource(o.Seed))
 
-	orig, err := sim.New(c)
+	// The search below steps the original plus every target on each
+	// candidate segment, so the per-cycle cost dominates generation;
+	// compiled machines replace the AST interpreter on this path.
+	origProg, err := sim.Compile(c)
 	if err != nil {
 		return nil, err
 	}
-	all := make([]*liveMutant, 0, len(targets))
+	orig := origProg.NewMachine()
+	cs := make([]*hdl.Circuit, len(targets))
 	for i, m := range targets {
-		ms, err := sim.New(m.Circuit)
-		if err != nil {
-			return nil, fmt.Errorf("tpg: mutant %d: %w", i, err)
+		cs[i] = m.Circuit
+	}
+	progs, err := sim.CompileBatch(cs, 0)
+	if err != nil {
+		var be *sim.BatchError
+		if errors.As(err, &be) {
+			return nil, fmt.Errorf("tpg: mutant %d: %w", be.Index, be.Err)
 		}
-		all = append(all, &liveMutant{idx: i, sim: ms})
+		return nil, fmt.Errorf("tpg: %w", err)
+	}
+	all := make([]*liveMutant, 0, len(targets))
+	for i, p := range progs {
+		all = append(all, &liveMutant{idx: i, sim: p.NewMachine()})
 	}
 
 	res := &Result{Killed: make([]bool, len(targets))}

@@ -1,0 +1,52 @@
+#!/bin/sh
+# Run the benchmark suite with -benchmem and record a machine-readable
+# summary, so the perf trajectory of successive PRs is comparable.
+#
+# Usage: scripts/bench.sh [output.json] [extra go test args...]
+#
+# The default output name is BENCH_<git-sha>.json (BENCH_worktree.json
+# when the tree is dirty). The raw `go test -bench` text is kept next to
+# it as a .txt with the same stem.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out="${1:-}"
+if [ $# -gt 0 ]; then shift; fi
+if [ -z "$out" ]; then
+    sha="$(git rev-parse --short HEAD 2>/dev/null || echo nogit)"
+    if ! git diff --quiet 2>/dev/null; then
+        sha="worktree"
+    fi
+    out="BENCH_${sha}.json"
+fi
+txt="${out%.json}.txt"
+
+echo "running benchmarks -> ${txt}" >&2
+go test -run='^$' -bench=. -benchmem -benchtime="${BENCHTIME:-1x}" "$@" . | tee "$txt" >&2
+
+# Convert `BenchmarkName  N  T ns/op  B B/op  A allocs/op  [M metric]`
+# lines into a JSON array. awk keeps this dependency-free.
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+BEGIN { print "[" }
+/^Benchmark/ {
+    name = $1; iters = $2
+    ns = ""; bytes = ""; allocs = ""; extra = ""
+    for (i = 3; i < NF; i++) {
+        if ($(i+1) == "ns/op")     ns = $i
+        if ($(i+1) == "B/op")      bytes = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+        if ($(i+1) ~ /\/s$/)       extra = "\"" $(i+1) "\": " $i ", "
+    }
+    if (ns == "") next
+    if (n++) printf ",\n"
+    printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, ", name, iters, ns
+    printf "%s", extra
+    if (bytes != "")  printf "\"bytes_per_op\": %s, ", bytes
+    if (allocs != "") printf "\"allocs_per_op\": %s, ", allocs
+    printf "\"date\": \"%s\"}", date
+}
+END { print "\n]" }
+' "$txt" > "$out"
+
+echo "wrote ${out} ($(grep -c '"name"' "$out") benchmarks)" >&2
