@@ -12,6 +12,7 @@ package repro
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -343,13 +344,15 @@ func BenchmarkMutantGeneration(b *testing.B) {
 	}
 }
 
-func BenchmarkFaultSimCombinational(b *testing.B) {
+// benchmarkFaultSimCombinational times combinational fault simulation of
+// c880 at a fixed engine setting (Workers semantics per faultsim.Config).
+func benchmarkFaultSimCombinational(b *testing.B, workers int) {
 	c := circuits.MustLoad("c880")
 	nl, err := synth.Synthesize(c)
 	if err != nil {
 		b.Fatal(err)
 	}
-	fs, err := faultsim.New(nl, nil)
+	fs, err := faultsim.Config{Workers: workers}.New(nl, nil)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -363,13 +366,28 @@ func BenchmarkFaultSimCombinational(b *testing.B) {
 	b.ReportMetric(float64(len(pats)*len(fs.Faults())*b.N)/b.Elapsed().Seconds(), "faultpatterns/s")
 }
 
-func BenchmarkFaultSimSequential(b *testing.B) {
+// BenchmarkFaultSimCombinational is the production setting: compiled
+// engine, all cores.
+func BenchmarkFaultSimCombinational(b *testing.B) { benchmarkFaultSimCombinational(b, 0) }
+
+// BenchmarkFaultSimCombinationalReference is the serial single-fault
+// Evaluator path kept for differential testing.
+func BenchmarkFaultSimCombinationalReference(b *testing.B) { benchmarkFaultSimCombinational(b, 1) }
+
+// benchmarkFaultSimSequential times sequential (parallel-fault) fault
+// simulation of b03. singleCore pins GOMAXPROCS to 1 so the recorded
+// ratio against the reference engine isolates the algorithmic win of
+// packing 64 fault machines per pass from the worker-pool multiplier.
+func benchmarkFaultSimSequential(b *testing.B, workers int, singleCore bool) {
+	if singleCore {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	}
 	c := circuits.MustLoad("b03")
 	nl, err := synth.Synthesize(c)
 	if err != nil {
 		b.Fatal(err)
 	}
-	fs, err := faultsim.New(nl, nil)
+	fs, err := faultsim.Config{Workers: workers}.New(nl, nil)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -382,6 +400,19 @@ func BenchmarkFaultSimSequential(b *testing.B) {
 	}
 	b.ReportMetric(float64(len(pats)*len(fs.Faults())*b.N)/b.Elapsed().Seconds(), "faultcycles/s")
 }
+
+// BenchmarkFaultSimSequential is the production setting: parallel-fault
+// compiled engine on the full worker pool.
+func BenchmarkFaultSimSequential(b *testing.B) { benchmarkFaultSimSequential(b, 0, false) }
+
+// BenchmarkFaultSimSequentialPacked1Core is the parallel-fault engine on
+// one core — its ratio over the Reference benchmark is the ISSUE's ≥8x
+// single-core target.
+func BenchmarkFaultSimSequentialPacked1Core(b *testing.B) { benchmarkFaultSimSequential(b, 0, true) }
+
+// BenchmarkFaultSimSequentialReference is the serial single-fault
+// Evaluator path: one whole-sequence replay per fault.
+func BenchmarkFaultSimSequentialReference(b *testing.B) { benchmarkFaultSimSequential(b, 1, true) }
 
 func BenchmarkPODEM(b *testing.B) {
 	c := circuits.MustLoad("c432")
@@ -458,6 +489,31 @@ func BenchmarkNetlistEval64Lanes(b *testing.B) {
 		if _, err := ev.Eval(pis); err != nil {
 			b.Fatal(err)
 		}
+	}
+	b.ReportMetric(float64(64*b.N)/b.Elapsed().Seconds(), "patterns/s")
+}
+
+// BenchmarkNetlistEvalCompiled is BenchmarkNetlistEval64Lanes on the
+// compiled Machine; the ratio is the per-pass win of the flat instruction
+// stream over the per-gate type switch.
+func BenchmarkNetlistEvalCompiled(b *testing.B) {
+	c := circuits.MustLoad("c880")
+	nl, err := synth.Synthesize(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := netlist.Compile(nl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := prog.NewMachine()
+	pis := make([]uint64, len(nl.PIs))
+	for i := range pis {
+		pis[i] = 0xAAAA5555CCCC3333
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Eval(pis)
 	}
 	b.ReportMetric(float64(64*b.N)/b.Elapsed().Seconds(), "patterns/s")
 }

@@ -20,7 +20,8 @@
 //	-equiv N       equivalence campaign budget (default 1024)
 //	-frac F        sampling fraction (default 0.10)
 //	-repeats N     repetitions averaged per measurement (default 5)
-//	-workers N     mutant-scoring pool size (0 = all cores, 1 = serial legacy)
+//	-workers N     mutant-scoring and fault-simulation pool size
+//	               (0 = all cores, 1 = serial reference engines)
 package main
 
 import (
@@ -108,7 +109,7 @@ func experimentFlags(fs *flag.FlagSet) func() core.Config {
 	equiv := fs.Int("equiv", 1024, "equivalence campaign budget")
 	frac := fs.Float64("frac", 0.10, "mutant sampling fraction")
 	repeats := fs.Int("repeats", 0, "repetitions averaged per measurement (default 5)")
-	workers := fs.Int("workers", 0, "mutant-scoring pool size (0 = all cores, 1 = serial legacy)")
+	workers := fs.Int("workers", 0, "mutant-scoring and fault-simulation pool size (0 = all cores, 1 = serial reference)")
 	return func() core.Config {
 		return core.Config{
 			Seed:        *seed,
@@ -384,6 +385,7 @@ func cmdFaultSim(args []string) error {
 	n := fs.Int("n", 256, "number of pseudo-random patterns")
 	seed := fs.Int64("seed", 1, "stimulus seed")
 	curveEvery := fs.Int("curve", 32, "print coverage every N patterns (0 = final only)")
+	workers := fs.Int("workers", 0, "fault-simulation pool size (0 = all cores, 1 = serial reference)")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("usage: mutsample faultsim <circuit>")
@@ -396,7 +398,7 @@ func cmdFaultSim(args []string) error {
 	if err != nil {
 		return err
 	}
-	sim, err := faultsim.New(nl, nil)
+	sim, err := faultsim.Config{Workers: *workers}.New(nl, nil)
 	if err != nil {
 		return err
 	}

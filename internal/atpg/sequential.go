@@ -153,13 +153,15 @@ func GenerateSequential(nl *netlist.Netlist, faults []faultsim.Fault, opts *SeqO
 			test[f] = pat
 		}
 		rep.Tests = append(rep.Tests, test)
-		// Drop everything this test detects (applied from power-on).
-		res, err := dropSim.Run(test)
+		// Drop everything this test detects (applied from power-on); only
+		// still-alive faults are worth re-simulating.
+		idxs := aliveIdx()
+		res, err := dropSim.RunOn(test, idxs)
 		if err != nil {
 			return nil, err
 		}
 		dropped := 0
-		for _, idx := range aliveIdx() {
+		for _, idx := range idxs {
 			if res.FirstDetected[idx] >= 0 {
 				alive[idx] = false
 				rep.Detected++
@@ -183,16 +185,27 @@ func RunTestSet(nl *netlist.Netlist, faults []faultsim.Fault, tests [][]faultsim
 		return 0, err
 	}
 	detected := make([]bool, len(faults))
+	remaining := make([]int, len(faults))
+	for i := range remaining {
+		remaining[i] = i
+	}
 	for _, t := range tests {
-		res, err := fs.Run(t)
+		if len(remaining) == 0 {
+			break
+		}
+		res, err := fs.RunOn(t, remaining)
 		if err != nil {
 			return 0, err
 		}
-		for i, d := range res.FirstDetected {
-			if d >= 0 {
+		next := remaining[:0]
+		for _, i := range remaining {
+			if res.FirstDetected[i] >= 0 {
 				detected[i] = true
+			} else {
+				next = append(next, i)
 			}
 		}
+		remaining = next
 	}
 	n := 0
 	for _, d := range detected {

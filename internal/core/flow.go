@@ -60,15 +60,21 @@ type Config struct {
 	// repeat), so operators with very different class sizes are compared
 	// on the same data-length scale. Default 40.
 	ProfileCap int
-	// Workers sizes the mutant-scoring pool (see mutscore.Config): 0 uses
-	// all cores with the compiled engine, 1 the legacy serial interpreter
-	// kept for differential testing. Results are identical either way.
+	// Workers sizes both worker pools — mutant scoring (mutscore.Config)
+	// and fault simulation (faultsim.Config): 0 uses all cores with the
+	// compiled engines, 1 the serial reference engines kept for
+	// differential testing. Results are identical either way.
 	Workers int
 }
 
 // mutscoreConfig projects the flow configuration onto the scoring engine.
 func (c Config) mutscoreConfig() mutscore.Config {
 	return mutscore.Config{Workers: c.Workers}
+}
+
+// faultsimConfig projects the flow configuration onto the fault simulator.
+func (c Config) faultsimConfig() faultsim.Config {
+	return faultsim.Config{Workers: c.Workers}
 }
 
 func (c Config) withDefaults() Config {
@@ -144,7 +150,7 @@ func NewFlow(c *hdl.Circuit, cfg Config) (*Flow, error) {
 		cfg:     cfg,
 	}
 	f.Faults = faultsim.Faults(nl)
-	f.fsim, err = faultsim.New(nl, f.Faults)
+	f.fsim, err = cfg.faultsimConfig().New(nl, f.Faults)
 	if err != nil {
 		return nil, err
 	}

@@ -1,10 +1,15 @@
 // Package faultsim implements the single stuck-at fault model and fault
 // simulation on gate-level netlists: fault-list generation with classical
 // structural equivalence collapsing, parallel-pattern simulation for
-// combinational circuits (64 test patterns per pass), and serial
-// whole-sequence simulation for sequential circuits. It produces the
-// first-detection profile from which the paper's coverage metrics (MFC,
-// RFC, ΔFC%, ΔL%, NLFCE) are computed.
+// combinational circuits (64 test patterns per pass), and parallel-fault
+// whole-sequence simulation for sequential circuits (64 faults per pass,
+// one fault machine per lane of the compiled netlist engine, with
+// per-lane fault dropping at first detection). Both paths run the
+// compiled netlist.Program on a worker pool sized by Config.Workers;
+// Workers == 1 selects the serial single-fault Evaluator path kept as the
+// differential reference. The produced first-detection profile is what
+// the paper's coverage metrics (MFC, RFC, ΔFC%, ΔL%, NLFCE) are computed
+// from.
 package faultsim
 
 import (

@@ -2,10 +2,10 @@ package faultsim
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
+	"math/bits"
 
 	"repro/internal/netlist"
+	"repro/internal/par"
 )
 
 // Pattern is one gate-level test vector: a 0/1 value per primary input, in
@@ -74,30 +74,58 @@ func (r *Result) Undetected() []Fault {
 	return out
 }
 
+// Config tunes fault simulation. The zero value is the fast default.
+type Config struct {
+	// Workers sizes the fault-level worker pool: 0 uses all cores
+	// (compiled parallel-fault engine), n > 1 uses exactly n workers
+	// (compiled engine), and 1 selects the single-fault reference engine —
+	// one Evaluator pass per fault, strictly serial — kept for
+	// differential testing, mirroring mutscore.Config. Results are
+	// identical for every setting (see parity_test.go).
+	Workers int
+}
+
+func (c Config) reference() bool { return c.Workers == 1 }
+
 // Simulator runs stuck-at fault simulation against a fixed netlist and
 // collapsed fault list.
 type Simulator struct {
 	nl     *netlist.Netlist
 	faults []Fault
-	good   *netlist.Evaluator
-	bad    *netlist.Evaluator
+	cfg    Config
+
+	good *netlist.Evaluator // reference engine (Workers == 1)
+	bad  *netlist.Evaluator
+	prog *netlist.Program // compiled engine (every other setting)
 }
 
-// New builds a fault simulator. The fault list defaults to Faults(nl) when
-// faults is nil.
+// New builds a fault simulator with the default configuration. The fault
+// list defaults to Faults(nl) when faults is nil.
 func New(nl *netlist.Netlist, faults []Fault) (*Simulator, error) {
+	return Config{}.New(nl, faults)
+}
+
+// New builds a fault simulator under this configuration. The fault list
+// defaults to Faults(nl) when faults is nil.
+func (c Config) New(nl *netlist.Netlist, faults []Fault) (*Simulator, error) {
 	if faults == nil {
 		faults = Faults(nl)
 	}
-	good, err := netlist.NewEvaluator(nl)
-	if err != nil {
+	s := &Simulator{nl: nl, faults: faults, cfg: c}
+	var err error
+	if c.reference() {
+		if s.good, err = netlist.NewEvaluator(nl); err != nil {
+			return nil, err
+		}
+		if s.bad, err = netlist.NewEvaluator(nl); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+	if s.prog, err = netlist.Compile(nl); err != nil {
 		return nil, err
 	}
-	bad, err := netlist.NewEvaluator(nl)
-	if err != nil {
-		return nil, err
-	}
-	return &Simulator{nl: nl, faults: faults, good: good, bad: bad}, nil
+	return s, nil
 }
 
 // Faults returns the fault list under simulation.
@@ -106,23 +134,41 @@ func (s *Simulator) Faults() []Fault { return s.faults }
 // Run fault-simulates the ordered test set and returns the first-detection
 // profile. Combinational circuits treat each pattern independently
 // (64-way pattern-parallel); sequential circuits treat the whole set as
-// one sequence applied from power-on reset (cycle-serial per fault, with
-// fault dropping at first detection).
+// one sequence applied from power-on reset, simulated 64 faults at a time
+// (parallel-fault, one fault machine per lane) with per-lane fault
+// dropping at first detection.
 func (s *Simulator) Run(tests []Pattern) (*Result, error) {
+	return s.RunOn(tests, nil)
+}
+
+// RunOn is Run restricted to the faults whose indices are listed (nil
+// means the whole list). Indices must be unique — duplicates would put
+// the same fault in two parallel batches. Excluded faults keep
+// FirstDetected == -1. Fault-dropping callers (ATPG) use it to
+// re-simulate only still-alive faults.
+func (s *Simulator) RunOn(tests []Pattern, include []int) (*Result, error) {
 	for i, p := range tests {
 		if len(p) != len(s.nl.PIs) {
 			return nil, fmt.Errorf("faultsim: pattern %d has %d values for %d PIs", i, len(p), len(s.nl.PIs))
 		}
 	}
-	if s.nl.IsSequential() {
-		return s.runSequential(tests)
+	if include == nil {
+		include = make([]int, len(s.faults))
+		for i := range include {
+			include[i] = i
+		}
+	} else {
+		seen := make([]bool, len(s.faults))
+		for _, fi := range include {
+			if fi < 0 || fi >= len(s.faults) {
+				return nil, fmt.Errorf("faultsim: fault index %d out of range [0,%d)", fi, len(s.faults))
+			}
+			if seen[fi] {
+				return nil, fmt.Errorf("faultsim: fault index %d listed twice", fi)
+			}
+			seen[fi] = true
+		}
 	}
-	return s.runCombinational(tests)
-}
-
-const allLanes = ^uint64(0)
-
-func (s *Simulator) runCombinational(tests []Pattern) (*Result, error) {
 	res := &Result{
 		Faults:        s.faults,
 		FirstDetected: make([]int, len(s.faults)),
@@ -131,10 +177,33 @@ func (s *Simulator) runCombinational(tests []Pattern) (*Result, error) {
 	for i := range res.FirstDetected {
 		res.FirstDetected[i] = -1
 	}
+	if s.nl.IsSequential() {
+		if s.cfg.reference() {
+			return res, s.runSequentialRef(res, tests, include)
+		}
+		return res, s.runSequential(res, tests, include)
+	}
+	if s.cfg.reference() {
+		return res, s.runCombinationalRef(res, tests, include)
+	}
+	return res, s.runCombinational(res, tests, include)
+}
 
+const allLanes = ^uint64(0)
+
+// laneMaskFor returns the mask selecting the first n of 64 lanes.
+func laneMaskFor(n int) uint64 {
+	if n >= 64 {
+		return allLanes
+	}
+	return uint64(1)<<uint(n) - 1
+}
+
+// packPatternBatches packs the test set into 64-pattern PI word batches
+// (bit k of every word is pattern lo+k).
+func (s *Simulator) packPatternBatches(tests []Pattern) [][]uint64 {
 	nBatches := (len(tests) + 63) / 64
-	batchPIs := make([][]uint64, nBatches)
-	batchGood := make([][]uint64, nBatches)
+	out := make([][]uint64, nBatches)
 	for b := 0; b < nBatches; b++ {
 		lo := b * 64
 		hi := min(lo+64, len(tests))
@@ -148,95 +217,15 @@ func (s *Simulator) runCombinational(tests []Pattern) (*Result, error) {
 			}
 			words[pi] = w
 		}
-		batchPIs[b] = words
-		goodOut, err := s.good.Eval(words)
-		if err != nil {
-			return nil, err
-		}
-		batchGood[b] = append([]uint64(nil), goodOut...)
+		out[b] = words
 	}
-
-	err := s.parallelFaults(func(ev *netlist.Evaluator, fi int) {
-	batches:
-		for b := 0; b < nBatches; b++ {
-			lo := b * 64
-			laneCount := min(64, len(tests)-lo)
-			laneMask := allLanes
-			if laneCount < 64 {
-				laneMask = (uint64(1) << uint(laneCount)) - 1
-			}
-			badOut := ev.EvalWith(batchPIs[b], s.faults[fi].Site, allLanes)
-			var diff uint64
-			for po := range badOut {
-				diff |= (badOut[po] ^ batchGood[b][po]) & laneMask
-			}
-			if diff != 0 {
-				res.FirstDetected[fi] = lo + lowestBit(diff)
-				break batches
-			}
-		}
-	})
-	if err != nil {
-		return nil, err
-	}
-	return res, nil
+	return out
 }
 
-// parallelFaults runs fn once per fault index on a worker pool; each
-// worker owns a private evaluator, so fn must use only ev and fi.
-func (s *Simulator) parallelFaults(fn func(ev *netlist.Evaluator, fi int)) error {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(s.faults) {
-		workers = len(s.faults)
-	}
-	if workers <= 1 {
-		for fi := range s.faults {
-			fn(s.bad, fi)
-		}
-		return nil
-	}
-	evs := make([]*netlist.Evaluator, workers)
-	evs[0] = s.bad
-	for w := 1; w < workers; w++ {
-		ev, err := netlist.NewEvaluator(s.nl)
-		if err != nil {
-			return err
-		}
-		evs[w] = ev
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(ev *netlist.Evaluator) {
-			defer wg.Done()
-			for fi := range next {
-				fn(ev, fi)
-			}
-		}(evs[w])
-	}
-	for fi := range s.faults {
-		next <- fi
-	}
-	close(next)
-	wg.Wait()
-	return nil
-}
-
-func (s *Simulator) runSequential(tests []Pattern) (*Result, error) {
-	res := &Result{
-		Faults:        s.faults,
-		FirstDetected: make([]int, len(s.faults)),
-		Patterns:      len(tests),
-	}
-	for i := range res.FirstDetected {
-		res.FirstDetected[i] = -1
-	}
-
-	// Good-machine reference run.
-	goodPOs := make([][]uint64, len(tests))
-	s.good.Reset()
-	piWords := make([][]uint64, len(tests))
+// broadcastWords converts each pattern to PI words replicated across all
+// 64 lanes (the sequential stimulus: every lane applies the same cycle).
+func (s *Simulator) broadcastWords(tests []Pattern) [][]uint64 {
+	out := make([][]uint64, len(tests))
 	for cyc, p := range tests {
 		words := make([]uint64, len(s.nl.PIs))
 		for pi, v := range p {
@@ -244,42 +233,168 @@ func (s *Simulator) runSequential(tests []Pattern) (*Result, error) {
 				words[pi] = allLanes
 			}
 		}
-		piWords[cyc] = words
+		out[cyc] = words
+	}
+	return out
+}
+
+// runCombinational is the compiled pattern-parallel path: per fault, one
+// Machine pass per 64-pattern batch until first detection, fanned over a
+// worker pool with a private Machine per worker.
+func (s *Simulator) runCombinational(res *Result, tests []Pattern, include []int) error {
+	batchPIs := s.packPatternBatches(tests)
+	goodM := s.prog.NewMachine()
+	batchGood := make([][]uint64, len(batchPIs))
+	for b, words := range batchPIs {
+		batchGood[b] = append([]uint64(nil), goodM.Eval(words)...)
+	}
+
+	workers := par.Workers(s.cfg.Workers, len(include))
+	machines := make([]*netlist.Machine, workers)
+	machines[0] = goodM
+	for w := 1; w < workers; w++ {
+		machines[w] = s.prog.NewMachine()
+	}
+	par.Indexed(len(include), s.cfg.Workers, func(w, k int) {
+		fi := include[k]
+		m := machines[w]
+		m.ClearFaults()
+		m.InjectFault(s.faults[fi].Site, allLanes)
+		for b, words := range batchPIs {
+			lo := b * 64
+			laneMask := laneMaskFor(len(tests) - lo)
+			badOut := m.Eval(words)
+			var diff uint64
+			for po := range badOut {
+				diff |= (badOut[po] ^ batchGood[b][po]) & laneMask
+			}
+			if diff != 0 {
+				res.FirstDetected[fi] = lo + bits.TrailingZeros64(diff)
+				return
+			}
+		}
+	})
+	return nil
+}
+
+// runSequential is the parallel-fault path the Evaluator's 64 lanes were
+// built for: the undetected queue is consumed 64 faults per batch, one
+// fault machine per lane, against broadcast stimuli. A lane is dropped at
+// its first detection; a batch ends early once every lane has dropped.
+// Batches are independent, so they fan out over the worker pool.
+func (s *Simulator) runSequential(res *Result, tests []Pattern, include []int) error {
+	piWords := s.broadcastWords(tests)
+
+	// Good-machine reference run (any single lane is the good trace, but
+	// keeping all 64 identical makes the per-lane XOR below direct).
+	goodM := s.prog.NewMachine()
+	goodPOs := make([][]uint64, len(tests))
+	for cyc, words := range piWords {
+		goodPOs[cyc] = append([]uint64(nil), goodM.Eval(words)...)
+		goodM.Clock()
+	}
+
+	nBatches := (len(include) + 63) / 64
+	workers := par.Workers(s.cfg.Workers, nBatches)
+	machines := make([]*netlist.Machine, workers)
+	machines[0] = goodM
+	for w := 1; w < workers; w++ {
+		machines[w] = s.prog.NewMachine()
+	}
+	par.Indexed(nBatches, s.cfg.Workers, func(w, b int) {
+		lo := b * 64
+		batch := include[lo:min(lo+64, len(include))]
+		m := machines[w]
+		m.ClearFaults()
+		for lane, fi := range batch {
+			m.InjectFault(s.faults[fi].Site, 1<<uint(lane))
+		}
+		m.Reset()
+		active := laneMaskFor(len(batch))
+		for cyc := range tests {
+			badOut := m.Eval(piWords[cyc])
+			var diff uint64
+			for po := range badOut {
+				diff |= badOut[po] ^ goodPOs[cyc][po]
+			}
+			diff &= active
+			for diff != 0 {
+				lane := bits.TrailingZeros64(diff)
+				res.FirstDetected[batch[lane]] = cyc
+				diff &^= 1 << uint(lane)
+				active &^= 1 << uint(lane)
+			}
+			if active == 0 {
+				return
+			}
+			m.Clock()
+		}
+	})
+	return nil
+}
+
+// runCombinationalRef is the single-fault reference: one Evaluator pass
+// per fault per batch, strictly serial. Kept verbatim as the differential
+// baseline for the compiled engine.
+func (s *Simulator) runCombinationalRef(res *Result, tests []Pattern, include []int) error {
+	batchPIs := s.packPatternBatches(tests)
+	batchGood := make([][]uint64, len(batchPIs))
+	for b, words := range batchPIs {
+		goodOut, err := s.good.Eval(words)
+		if err != nil {
+			return err
+		}
+		batchGood[b] = append([]uint64(nil), goodOut...)
+	}
+	for _, fi := range include {
+	batches:
+		for b, words := range batchPIs {
+			lo := b * 64
+			laneMask := laneMaskFor(len(tests) - lo)
+			badOut := s.bad.EvalWith(words, s.faults[fi].Site, allLanes)
+			var diff uint64
+			for po := range badOut {
+				diff |= (badOut[po] ^ batchGood[b][po]) & laneMask
+			}
+			if diff != 0 {
+				res.FirstDetected[fi] = lo + bits.TrailingZeros64(diff)
+				break batches
+			}
+		}
+	}
+	return nil
+}
+
+// runSequentialRef is the single-fault reference: each fault replays the
+// whole sequence from power-on reset on its own Evaluator, broadcast
+// across all lanes, strictly serial.
+func (s *Simulator) runSequentialRef(res *Result, tests []Pattern, include []int) error {
+	piWords := s.broadcastWords(tests)
+	goodPOs := make([][]uint64, len(tests))
+	s.good.Reset()
+	for cyc, words := range piWords {
 		out, err := s.good.Eval(words)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		goodPOs[cyc] = append([]uint64(nil), out...)
 		s.good.Clock()
 	}
-
-	err := s.parallelFaults(func(ev *netlist.Evaluator, fi int) {
+	for _, fi := range include {
 		f := s.faults[fi]
-		ev.Reset()
+		s.bad.Reset()
 		for cyc := range tests {
-			badOut := ev.EvalWith(piWords[cyc], f.Site, allLanes)
+			badOut := s.bad.EvalWith(piWords[cyc], f.Site, allLanes)
 			var diff uint64
 			for po := range badOut {
 				diff |= badOut[po] ^ goodPOs[cyc][po]
 			}
 			if diff != 0 {
 				res.FirstDetected[fi] = cyc
-				return
+				break
 			}
-			ev.ClockWith(f.Site, allLanes)
-		}
-	})
-	if err != nil {
-		return nil, err
-	}
-	return res, nil
-}
-
-func lowestBit(w uint64) int {
-	for i := 0; i < 64; i++ {
-		if w&(1<<uint(i)) != 0 {
-			return i
+			s.bad.ClockWith(f.Site, allLanes)
 		}
 	}
-	return -1
+	return nil
 }

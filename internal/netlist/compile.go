@@ -1,0 +1,577 @@
+// Flat-program compilation of netlists, with multi-fault lane injection.
+//
+// The Evaluator walks the gate array with a per-gate type switch, a fanin
+// slice loop and two fault-site comparisons per gate — and it can inject
+// only ONE fault site per pass, broadcast across whichever lanes the mask
+// selects. Fault simulation executes the same circuit once per fault per
+// cycle, so that shape wastes both instruction-level and lane-level
+// parallelism. Compile translates a levelized netlist once into a flat
+// slot-indexed instruction stream (two-input gates get dedicated opcodes;
+// wider gates read a shared fanin arena), and Machine carries the mutable
+// state plus a per-batch fault-injection plan: up to 64 *different* fault
+// sites, each masked to its own subset of lanes, so one pass evaluates 64
+// independent fault machines. The fault-free path pays no injection cost
+// (a separate exec loop), and injected gates re-evaluate through a generic
+// masked path that reproduces Evaluator.EvalWith bit-for-bit.
+//
+// Semantics are pinned against the Evaluator differentially: every lane of
+// a Machine pass must equal the corresponding single-fault EvalWith pass
+// (see compile_test.go), which is what lets the fault simulator treat the
+// two engines as interchangeable references.
+package netlist
+
+import "fmt"
+
+type gop uint8
+
+// Gate opcodes. The two-input forms avoid the fanin loop entirely; the
+// N-ary forms iterate the arena. Buf/Not read a single slot.
+const (
+	gopBuf gop = iota
+	gopNot
+	gopAnd2
+	gopNand2
+	gopOr2
+	gopNor2
+	gopXor2
+	gopXnor2
+	gopAndN
+	gopNandN
+	gopOrN
+	gopNorN
+	gopXorN
+	gopXnorN
+)
+
+// ginstr is one compiled gate. dst and the fanin references are gate IDs
+// (value slots are indexed by gate ID, exactly like Evaluator.vals). The
+// arena range off/n is valid for every opcode — the injected path uses it
+// even when the fast path reads a and b directly.
+type ginstr struct {
+	op     gop
+	dst    int32
+	a, b   int32
+	off, n int32
+}
+
+// Program is a compiled netlist: the levelized instruction stream plus the
+// load/latch plans the Machine executes around it. It is immutable after
+// Compile and safe to share between any number of Machines.
+type Program struct {
+	nl     *Netlist
+	code   []ginstr
+	args   []int32 // shared fanin arena
+	codeOf []int32 // gate ID -> instruction index, -1 for non-comb gates
+	ffIdx  []int32 // gate ID -> index in nl.FFs, -1 elsewhere
+	ffSrc  []int32 // D-input gate ID per FF state index
+	ffInit []uint64
+	consts []slotWord
+}
+
+type slotWord struct {
+	slot int32
+	word uint64
+}
+
+// Compile translates a netlist (which must validate) into a Program.
+func Compile(nl *Netlist) (*Program, error) {
+	if err := nl.Validate(); err != nil {
+		return nil, err
+	}
+	order, err := nl.Levelize()
+	if err != nil {
+		return nil, err
+	}
+	p := &Program{
+		nl:     nl,
+		code:   make([]ginstr, 0, len(order)),
+		codeOf: make([]int32, len(nl.Gates)),
+		ffIdx:  make([]int32, len(nl.Gates)),
+		ffSrc:  make([]int32, len(nl.FFs)),
+		ffInit: make([]uint64, len(nl.FFs)),
+	}
+	for i := range p.codeOf {
+		p.codeOf[i] = -1
+		p.ffIdx[i] = -1
+	}
+	for i, id := range nl.FFs {
+		g := nl.Gates[id]
+		p.ffIdx[id] = int32(i)
+		p.ffSrc[i] = int32(g.Fanin[0])
+		if g.Init&1 == 1 {
+			p.ffInit[i] = ^uint64(0)
+		}
+	}
+	for _, g := range nl.Gates {
+		switch g.Type {
+		case Const0:
+			p.consts = append(p.consts, slotWord{slot: int32(g.ID)})
+		case Const1:
+			p.consts = append(p.consts, slotWord{slot: int32(g.ID), word: ^uint64(0)})
+		}
+	}
+	for _, id := range order {
+		g := nl.Gates[id]
+		in := ginstr{
+			dst: int32(g.ID),
+			off: int32(len(p.args)),
+			n:   int32(len(g.Fanin)),
+		}
+		for _, f := range g.Fanin {
+			p.args = append(p.args, int32(f))
+		}
+		in.a = int32(g.Fanin[0])
+		if len(g.Fanin) >= 2 {
+			in.b = int32(g.Fanin[1])
+		}
+		op, err := opFor(g.Type, len(g.Fanin))
+		if err != nil {
+			return nil, fmt.Errorf("netlist: compile %s: gate %d: %w", nl.Name, g.ID, err)
+		}
+		in.op = op
+		p.codeOf[g.ID] = int32(len(p.code))
+		p.code = append(p.code, in)
+	}
+	return p, nil
+}
+
+func opFor(t GateType, fanins int) (gop, error) {
+	two := fanins == 2
+	switch t {
+	case Buf:
+		return gopBuf, nil
+	case Not:
+		return gopNot, nil
+	case And:
+		if two {
+			return gopAnd2, nil
+		}
+		return gopAndN, nil
+	case Nand:
+		if two {
+			return gopNand2, nil
+		}
+		return gopNandN, nil
+	case Or:
+		if two {
+			return gopOr2, nil
+		}
+		return gopOrN, nil
+	case Nor:
+		if two {
+			return gopNor2, nil
+		}
+		return gopNorN, nil
+	case Xor:
+		if two {
+			return gopXor2, nil
+		}
+		return gopXorN, nil
+	case Xnor:
+		if two {
+			return gopXnor2, nil
+		}
+		return gopXnorN, nil
+	}
+	return 0, fmt.Errorf("no opcode for %s", t)
+}
+
+// Netlist returns the compiled circuit.
+func (p *Program) Netlist() *Netlist { return p.nl }
+
+// injRec is the injection plan for one compiled gate: per-pin overrides
+// (fanout-branch faults as seen by this gate) and an output mask (stem
+// faults). All masks are per-lane, so one record carries many faults.
+type injRec struct {
+	pins    []pinInj
+	outMask uint64 // lanes with a stem fault on this gate's output
+	outVal  uint64 // the stuck word, restricted to outMask
+}
+
+type pinInj struct {
+	pin  int32
+	mask uint64
+	val  uint64
+}
+
+type slotInj struct {
+	slot      int32
+	mask, val uint64
+}
+
+type ffInj struct {
+	ff        int32
+	mask, val uint64
+}
+
+// Machine is the mutable execution state of one Program: net values, FF
+// state, and the current fault-injection batch. Machines are cheap; a
+// worker pool creates one per worker. Not safe for concurrent use.
+type Machine struct {
+	p     *Program
+	vals  []uint64
+	state []uint64
+	out   []uint64
+
+	inj      []int32 // per instruction: index into recs, or -1
+	recs     []injRec
+	touched  []int32   // instruction indices with inj set, for O(batch) clearing
+	loadInj  []slotInj // stem faults on PIs, FFs and constants
+	clockInj []ffInj   // DFF D-pin faults, applied at Clock
+	faulty   bool
+}
+
+// NewMachine creates fresh execution state in power-on reset, with no
+// faults injected.
+func (p *Program) NewMachine() *Machine {
+	m := &Machine{
+		p:     p,
+		vals:  make([]uint64, len(p.nl.Gates)),
+		state: make([]uint64, len(p.nl.FFs)),
+		out:   make([]uint64, len(p.nl.POs)),
+		inj:   make([]int32, len(p.code)),
+	}
+	for i := range m.inj {
+		m.inj[i] = -1
+	}
+	m.Reset()
+	return m
+}
+
+// Program returns the compiled program this machine executes.
+func (m *Machine) Program() *Program { return m.p }
+
+// Reset restores every flip-flop to its power-on value in all 64 lanes.
+// Injected faults survive a Reset; use ClearFaults to remove them.
+func (m *Machine) Reset() {
+	copy(m.state, m.p.ffInit)
+}
+
+// SetState overwrites the flip-flop state words directly.
+func (m *Machine) SetState(s []uint64) {
+	if len(s) != len(m.state) {
+		panic(fmt.Sprintf("netlist: SetState with %d words for %d FFs", len(s), len(m.state)))
+	}
+	copy(m.state, s)
+}
+
+// State returns a copy of the flip-flop state words.
+func (m *Machine) State() []uint64 {
+	out := make([]uint64, len(m.state))
+	copy(out, m.state)
+	return out
+}
+
+// InjectFault adds a stuck-at fault to the machine's current batch,
+// confined to the lanes selected by laneMask. Distinct faults injected
+// into disjoint lanes evaluate as independent fault machines in one pass.
+// Sites that cannot influence anything (NoFault, out-of-range pins, pin
+// faults on gates without pins) are ignored, matching Evaluator.EvalWith.
+func (m *Machine) InjectFault(f FaultSite, laneMask uint64) {
+	if f.Gate < 0 || laneMask == 0 {
+		return
+	}
+	val := uint64(0)
+	if f.Stuck == 1 {
+		val = laneMask
+	}
+	g := m.p.nl.Gates[f.Gate]
+	switch {
+	case f.Pin < 0 && g.Type.IsComb():
+		r := m.rec(m.p.codeOf[f.Gate])
+		r.outMask |= laneMask
+		r.outVal = r.outVal&^laneMask | val
+	case f.Pin < 0:
+		m.mergeLoadInj(int32(f.Gate), laneMask, val)
+	case g.Type == DFF && f.Pin == 0:
+		m.mergeClockInj(m.p.ffIdx[f.Gate], laneMask, val)
+	case g.Type.IsComb() && f.Pin < len(g.Fanin):
+		r := m.rec(m.p.codeOf[f.Gate])
+		r.mergePin(int32(f.Pin), laneMask, val)
+	default:
+		return // inert site: keep the fault-free fast path
+	}
+	m.faulty = true
+}
+
+// ClearFaults removes every injected fault, restoring the fault-free fast
+// path. Cost is proportional to the batch size, not the circuit size.
+func (m *Machine) ClearFaults() {
+	for _, ci := range m.touched {
+		m.inj[ci] = -1
+	}
+	m.touched = m.touched[:0]
+	m.recs = m.recs[:0]
+	m.loadInj = m.loadInj[:0]
+	m.clockInj = m.clockInj[:0]
+	m.faulty = false
+}
+
+func (m *Machine) rec(codeIdx int32) *injRec {
+	if m.inj[codeIdx] < 0 {
+		m.inj[codeIdx] = int32(len(m.recs))
+		m.recs = append(m.recs, injRec{})
+		m.touched = append(m.touched, codeIdx)
+	}
+	return &m.recs[m.inj[codeIdx]]
+}
+
+func (r *injRec) mergePin(pin int32, mask, val uint64) {
+	for i := range r.pins {
+		if r.pins[i].pin == pin {
+			r.pins[i].mask |= mask
+			r.pins[i].val = r.pins[i].val&^mask | val
+			return
+		}
+	}
+	r.pins = append(r.pins, pinInj{pin: pin, mask: mask, val: val})
+}
+
+func (m *Machine) mergeLoadInj(slot int32, mask, val uint64) {
+	for i := range m.loadInj {
+		if m.loadInj[i].slot == slot {
+			m.loadInj[i].mask |= mask
+			m.loadInj[i].val = m.loadInj[i].val&^mask | val
+			return
+		}
+	}
+	m.loadInj = append(m.loadInj, slotInj{slot: slot, mask: mask, val: val})
+}
+
+func (m *Machine) mergeClockInj(ff int32, mask, val uint64) {
+	for i := range m.clockInj {
+		if m.clockInj[i].ff == ff {
+			m.clockInj[i].mask |= mask
+			m.clockInj[i].val = m.clockInj[i].val&^mask | val
+			return
+		}
+	}
+	m.clockInj = append(m.clockInj, ffInj{ff: ff, mask: mask, val: val})
+}
+
+// Eval runs one combinational pass with the given PI words (ordered like
+// the netlist's PIs) under the machine's current fault batch and returns
+// the PO words. The result slice is reused by the next Eval call. It
+// panics when the PI count is wrong (the caller validates pattern shapes
+// once, not per pass).
+func (m *Machine) Eval(pis []uint64) []uint64 {
+	nl := m.p.nl
+	if len(pis) != len(nl.PIs) {
+		panic(fmt.Sprintf("netlist: %d PI words for %d inputs", len(pis), len(nl.PIs)))
+	}
+	vals := m.vals
+	for i, id := range nl.PIs {
+		vals[id] = pis[i]
+	}
+	for i, id := range nl.FFs {
+		vals[id] = m.state[i]
+	}
+	for _, c := range m.p.consts {
+		vals[c.slot] = c.word
+	}
+	if m.faulty {
+		for i := range m.loadInj {
+			li := &m.loadInj[i]
+			vals[li.slot] = vals[li.slot]&^li.mask | li.val
+		}
+		m.execFaulty()
+	} else {
+		m.execClean()
+	}
+	for i, id := range nl.POs {
+		m.out[i] = vals[id]
+	}
+	return m.out
+}
+
+// Clock latches each flip-flop's D value from the most recent Eval pass,
+// applying any injected D-pin faults to the captured state.
+func (m *Machine) Clock() {
+	for i, src := range m.p.ffSrc {
+		m.state[i] = m.vals[src]
+	}
+	for i := range m.clockInj {
+		ci := &m.clockInj[i]
+		m.state[ci.ff] = m.state[ci.ff]&^ci.mask | ci.val
+	}
+}
+
+// Value returns the last computed word on a gate's output.
+func (m *Machine) Value(id int) uint64 { return m.vals[id] }
+
+func (m *Machine) execClean() {
+	vals := m.vals
+	code := m.p.code
+	args := m.p.args
+	for i := range code {
+		in := &code[i]
+		var v uint64
+		switch in.op {
+		case gopBuf:
+			v = vals[in.a]
+		case gopNot:
+			v = ^vals[in.a]
+		case gopAnd2:
+			v = vals[in.a] & vals[in.b]
+		case gopNand2:
+			v = ^(vals[in.a] & vals[in.b])
+		case gopOr2:
+			v = vals[in.a] | vals[in.b]
+		case gopNor2:
+			v = ^(vals[in.a] | vals[in.b])
+		case gopXor2:
+			v = vals[in.a] ^ vals[in.b]
+		case gopXnor2:
+			v = ^(vals[in.a] ^ vals[in.b])
+		case gopAndN:
+			v = ^uint64(0)
+			for _, s := range args[in.off : in.off+in.n] {
+				v &= vals[s]
+			}
+		case gopNandN:
+			v = ^uint64(0)
+			for _, s := range args[in.off : in.off+in.n] {
+				v &= vals[s]
+			}
+			v = ^v
+		case gopOrN:
+			for _, s := range args[in.off : in.off+in.n] {
+				v |= vals[s]
+			}
+		case gopNorN:
+			for _, s := range args[in.off : in.off+in.n] {
+				v |= vals[s]
+			}
+			v = ^v
+		case gopXorN:
+			for _, s := range args[in.off : in.off+in.n] {
+				v ^= vals[s]
+			}
+		case gopXnorN:
+			for _, s := range args[in.off : in.off+in.n] {
+				v ^= vals[s]
+			}
+			v = ^v
+		}
+		vals[in.dst] = v
+	}
+}
+
+// execFaulty is execClean plus a per-instruction injection check; gates
+// with an injection record re-evaluate through the generic masked path.
+func (m *Machine) execFaulty() {
+	vals := m.vals
+	code := m.p.code
+	args := m.p.args
+	inj := m.inj
+	for i := range code {
+		in := &code[i]
+		if ri := inj[i]; ri >= 0 {
+			vals[in.dst] = m.evalInjected(in, &m.recs[ri])
+			continue
+		}
+		var v uint64
+		switch in.op {
+		case gopBuf:
+			v = vals[in.a]
+		case gopNot:
+			v = ^vals[in.a]
+		case gopAnd2:
+			v = vals[in.a] & vals[in.b]
+		case gopNand2:
+			v = ^(vals[in.a] & vals[in.b])
+		case gopOr2:
+			v = vals[in.a] | vals[in.b]
+		case gopNor2:
+			v = ^(vals[in.a] | vals[in.b])
+		case gopXor2:
+			v = vals[in.a] ^ vals[in.b]
+		case gopXnor2:
+			v = ^(vals[in.a] ^ vals[in.b])
+		case gopAndN:
+			v = ^uint64(0)
+			for _, s := range args[in.off : in.off+in.n] {
+				v &= vals[s]
+			}
+		case gopNandN:
+			v = ^uint64(0)
+			for _, s := range args[in.off : in.off+in.n] {
+				v &= vals[s]
+			}
+			v = ^v
+		case gopOrN:
+			for _, s := range args[in.off : in.off+in.n] {
+				v |= vals[s]
+			}
+		case gopNorN:
+			for _, s := range args[in.off : in.off+in.n] {
+				v |= vals[s]
+			}
+			v = ^v
+		case gopXorN:
+			for _, s := range args[in.off : in.off+in.n] {
+				v ^= vals[s]
+			}
+		case gopXnorN:
+			for _, s := range args[in.off : in.off+in.n] {
+				v ^= vals[s]
+			}
+			v = ^v
+		}
+		vals[in.dst] = v
+	}
+}
+
+// evalInjected evaluates one gate with the record's per-pin overrides,
+// then applies the output stem mask. Pin overrides only disturb their own
+// lanes, so every lane of the result stays an independent fault machine.
+func (m *Machine) evalInjected(in *ginstr, rec *injRec) uint64 {
+	vals := m.vals
+	fanin := m.p.args[in.off : in.off+in.n]
+	read := func(j int) uint64 {
+		v := vals[fanin[j]]
+		for k := range rec.pins {
+			if int(rec.pins[k].pin) == j {
+				v = v&^rec.pins[k].mask | rec.pins[k].val
+			}
+		}
+		return v
+	}
+	var v uint64
+	switch in.op {
+	case gopBuf:
+		v = read(0)
+	case gopNot:
+		v = ^read(0)
+	case gopAnd2, gopAndN:
+		v = ^uint64(0)
+		for j := range fanin {
+			v &= read(j)
+		}
+	case gopNand2, gopNandN:
+		v = ^uint64(0)
+		for j := range fanin {
+			v &= read(j)
+		}
+		v = ^v
+	case gopOr2, gopOrN:
+		for j := range fanin {
+			v |= read(j)
+		}
+	case gopNor2, gopNorN:
+		for j := range fanin {
+			v |= read(j)
+		}
+		v = ^v
+	case gopXor2, gopXorN:
+		for j := range fanin {
+			v ^= read(j)
+		}
+	case gopXnor2, gopXnorN:
+		for j := range fanin {
+			v ^= read(j)
+		}
+		v = ^v
+	}
+	return v&^rec.outMask | rec.outVal
+}

@@ -1,0 +1,270 @@
+package netlist
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randomNetlist builds a random levelizable netlist with nPIs inputs,
+// nFFs flip-flops (with feedback through the combinational cloud) and
+// nGates gates drawn from every combinational type with arities 1..4, so
+// the compiled program exercises every opcode including the N-ary forms.
+func randomNetlist(t *testing.T, seed int64, nPIs, nFFs, nGates int) *Netlist {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	n := New(fmt.Sprintf("rand%d", seed))
+	for i := 0; i < nPIs; i++ {
+		n.AddInput(fmt.Sprintf("i%d", i))
+	}
+	for i := 0; i < nFFs; i++ {
+		n.AddDFF(fmt.Sprintf("ff%d", i), uint64(rng.Intn(2)))
+	}
+	if rng.Intn(2) == 0 {
+		n.AddGate(Const0)
+	}
+	if rng.Intn(2) == 0 {
+		n.AddGate(Const1)
+	}
+	comb := []GateType{Buf, Not, And, Or, Nand, Nor, Xor, Xnor}
+	for i := 0; i < nGates; i++ {
+		t1 := comb[rng.Intn(len(comb))]
+		arity := 2 + rng.Intn(3)
+		if t1 == Buf || t1 == Not {
+			arity = 1
+		}
+		fanin := make([]int, arity)
+		for j := range fanin {
+			fanin[j] = rng.Intn(len(n.Gates)) // only existing gates: acyclic
+		}
+		n.AddGate(t1, fanin...)
+	}
+	// Feedback: every FF's D comes from anywhere in the cloud.
+	for _, ff := range n.FFs {
+		n.SetDFFInput(ff, rng.Intn(len(n.Gates)))
+	}
+	// Observe a handful of random gates plus the last one.
+	for i := 0; i < 3; i++ {
+		id := rng.Intn(len(n.Gates))
+		n.MarkOutput(id, fmt.Sprintf("o%d", i))
+	}
+	n.MarkOutput(len(n.Gates)-1, "olast")
+	if err := n.Validate(); err != nil {
+		t.Fatalf("random netlist invalid: %v", err)
+	}
+	return n
+}
+
+// allSites enumerates every stem and pin fault site of a netlist, both
+// polarities — a superset of the collapsed fault list, so the differential
+// tests also cover sites the fault simulator would normally skip.
+func allSites(nl *Netlist) []FaultSite {
+	var out []FaultSite
+	for _, g := range nl.Gates {
+		for v := uint64(0); v <= 1; v++ {
+			out = append(out, FaultSite{Gate: g.ID, Pin: -1, Stuck: v})
+			for j := range g.Fanin {
+				out = append(out, FaultSite{Gate: g.ID, Pin: j, Stuck: v})
+			}
+		}
+	}
+	return out
+}
+
+func randWords(rng *rand.Rand, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = rng.Uint64()
+	}
+	return out
+}
+
+// TestMachineMatchesEvaluatorFaultFree pins the compiled fast path
+// against the Evaluator over multiple clocked cycles of random stimuli.
+func TestMachineMatchesEvaluatorFaultFree(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		nl := randomNetlist(t, seed, 3+int(seed%4), int(seed%5), 12+int(seed)*3)
+		ev, err := NewEvaluator(nl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := Compile(nl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := prog.NewMachine()
+		rng := rand.New(rand.NewSource(seed + 100))
+		for cyc := 0; cyc < 8; cyc++ {
+			pis := randWords(rng, len(nl.PIs))
+			want, err := ev.Eval(pis)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := m.Eval(pis)
+			for po := range want {
+				if got[po] != want[po] {
+					t.Fatalf("seed %d cyc %d PO %d: machine %x, evaluator %x", seed, cyc, po, got[po], want[po])
+				}
+			}
+			ev.Clock()
+			m.Clock()
+			for i, s := range ev.State() {
+				if m.State()[i] != s {
+					t.Fatalf("seed %d cyc %d FF %d: state %x, evaluator %x", seed, cyc, i, m.State()[i], s)
+				}
+			}
+		}
+	}
+}
+
+// TestMachineMatchesEvaluatorSingleFault checks that injecting one fault
+// into an arbitrary lane subset reproduces EvalWith/ClockWith exactly, for
+// every fault site of random sequential netlists.
+func TestMachineMatchesEvaluatorSingleFault(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		nl := randomNetlist(t, seed, 4, 3, 15)
+		ev, err := NewEvaluator(nl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := Compile(nl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := prog.NewMachine()
+		rng := rand.New(rand.NewSource(seed + 500))
+		for _, site := range allSites(nl) {
+			mask := rng.Uint64()
+			stim := make([][]uint64, 4)
+			for c := range stim {
+				stim[c] = randWords(rng, len(nl.PIs))
+			}
+			ev.Reset()
+			m.ClearFaults()
+			m.InjectFault(site, mask)
+			m.Reset()
+			for cyc, pis := range stim {
+				want := ev.EvalWith(pis, site, mask)
+				got := m.Eval(pis)
+				for po := range want {
+					if got[po] != want[po] {
+						t.Fatalf("seed %d site %+v mask %x cyc %d PO %d: machine %x, evaluator %x",
+							seed, site, mask, cyc, po, got[po], want[po])
+					}
+				}
+				ev.ClockWith(site, mask)
+				m.Clock()
+			}
+		}
+	}
+}
+
+// TestMachineMultiFaultLanes is the parallel-fault guarantee: 64 distinct
+// faults injected one per lane evolve as 64 independent fault machines.
+// Each lane must match a dedicated single-fault Evaluator run.
+func TestMachineMultiFaultLanes(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		nl := randomNetlist(t, seed+50, 4, 4, 20)
+		prog, err := Compile(nl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sites := allSites(nl)
+		batch := sites
+		if len(batch) > 64 {
+			batch = batch[:64]
+		}
+		m := prog.NewMachine()
+		for lane, site := range batch {
+			m.InjectFault(site, 1<<uint(lane))
+		}
+		m.Reset()
+		rng := rand.New(rand.NewSource(seed + 900))
+		stim := make([][]uint64, 6)
+		for c := range stim {
+			// Broadcast stimuli: every lane sees the same 0/1 input.
+			stim[c] = make([]uint64, len(nl.PIs))
+			for i := range stim[c] {
+				if rng.Intn(2) == 1 {
+					stim[c][i] = ^uint64(0)
+				}
+			}
+		}
+		got := make([][]uint64, len(stim))
+		for cyc, pis := range stim {
+			got[cyc] = append([]uint64(nil), m.Eval(pis)...)
+			m.Clock()
+		}
+		ev, err := NewEvaluator(nl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for lane, site := range batch {
+			ev.Reset()
+			for cyc, pis := range stim {
+				want := ev.EvalWith(pis, site, ^uint64(0))
+				for po := range want {
+					wbit := want[po] >> 0 & 1
+					gbit := got[cyc][po] >> uint(lane) & 1
+					if gbit != wbit {
+						t.Fatalf("seed %d lane %d site %+v cyc %d PO %d: lane bit %d, reference %d",
+							seed, lane, site, cyc, po, gbit, wbit)
+					}
+				}
+				ev.ClockWith(site, ^uint64(0))
+			}
+		}
+	}
+}
+
+// TestMachineClearFaults verifies a cleared machine returns to the
+// fault-free fast path bit-identically.
+func TestMachineClearFaults(t *testing.T) {
+	nl := randomNetlist(t, 7, 4, 2, 15)
+	prog, err := Compile(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := NewEvaluator(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := prog.NewMachine()
+	for lane, site := range allSites(nl) {
+		m.InjectFault(site, 1<<uint(lane%64))
+	}
+	m.ClearFaults()
+	m.Reset()
+	rng := rand.New(rand.NewSource(77))
+	for cyc := 0; cyc < 4; cyc++ {
+		pis := randWords(rng, len(nl.PIs))
+		want, err := ev.Eval(pis)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := m.Eval(pis)
+		for po := range want {
+			if got[po] != want[po] {
+				t.Fatalf("cyc %d PO %d: cleared machine %x, evaluator %x", cyc, po, got[po], want[po])
+			}
+		}
+		ev.Clock()
+		m.Clock()
+	}
+}
+
+// TestMachinePIWordCountPanics pins the documented panic on shape misuse.
+func TestMachinePIWordCountPanics(t *testing.T) {
+	nl := buildMux(t)
+	prog, err := Compile(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := prog.NewMachine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short PI slice did not panic")
+		}
+	}()
+	m.Eval([]uint64{1})
+}

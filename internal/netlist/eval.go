@@ -17,9 +17,12 @@ var NoFault = FaultSite{Gate: -1, Pin: -1}
 
 // Evaluator is the 64-pattern-parallel good-machine simulator. Each net
 // carries a 64-bit word; bit k of every word belongs to pattern k, so one
-// pass evaluates up to 64 independent input patterns (for combinational
-// circuits) or 64 independent fault machines (for the parallel-fault
-// sequential fault simulator, which drives the same data path).
+// pass evaluates up to 64 independent input patterns. It injects at most
+// one fault site per pass (broadcast across the lanes laneMask selects),
+// which makes it the single-fault reference engine: the parallel-fault
+// sequential fault simulator instead drives the compiled Machine (see
+// Compile), which packs 64 independent fault machines into those lanes
+// and is pinned bit-identical to this evaluator differentially.
 //
 // An Evaluator is not safe for concurrent use.
 type Evaluator struct {

@@ -123,7 +123,7 @@ type Options struct {
 	// Candidates is how many random candidate segments compete per round.
 	// Default 8.
 	Candidates int
-	// MaxLen bounds the produced sequence length. Default 512.
+	// MaxLen bounds the produced sequence length. Default 1024.
 	MaxLen int
 	// MaxStall stops the search after this many consecutive rounds without
 	// a new kill. Default 12.

@@ -186,3 +186,33 @@ func TestMutationTestsCombinational(t *testing.T) {
 	}
 	t.Logf("c432 LOR: killed %d/%d with %d vectors", res.KilledCount(), len(ms), len(res.Seq))
 }
+
+// TestOptionsWithDefaults pins every defaulted Options field, both for a
+// nil receiver and for partially-filled options, so the field docs and
+// withDefaults cannot drift apart again (MaxLen once said 512 while the
+// code set 1024).
+func TestOptionsWithDefaults(t *testing.T) {
+	for _, sequential := range []bool{false, true} {
+		got := (*Options)(nil).withDefaults(sequential)
+		want := Options{Mode: PerMutant, Seed: 0, SegmentLen: 1, Candidates: 8, MaxLen: 1024, MaxStall: 12}
+		if sequential {
+			want.SegmentLen = 4
+		}
+		if got != want {
+			t.Errorf("nil options (sequential=%v): defaults %+v, want %+v", sequential, got, want)
+		}
+	}
+	// Explicit values must pass through untouched.
+	in := &Options{Mode: Greedy, Seed: 9, SegmentLen: 2, Candidates: 3, MaxLen: 64, MaxStall: 5}
+	if got := in.withDefaults(true); got != *in {
+		t.Errorf("explicit options rewritten: %+v, want %+v", got, *in)
+	}
+	// Zero fields of a non-nil struct still pick up defaults.
+	part := (&Options{Seed: 7}).withDefaults(false)
+	if part.MaxLen != 1024 || part.Candidates != 8 || part.MaxStall != 12 || part.SegmentLen != 1 {
+		t.Errorf("partial options defaults wrong: %+v", part)
+	}
+	if part.Seed != 7 || part.Mode != PerMutant {
+		t.Errorf("partial options lost explicit fields: %+v", part)
+	}
+}
