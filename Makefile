@@ -3,12 +3,18 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test race bench bench-smoke ci clean
+.PHONY: all build examples vet fmt-check test race bench bench-smoke bench-compare ci clean
 
 all: build
 
 build:
 	$(GO) build ./...
+
+# Explicit examples build: go build ./... covers these too, but keeping a
+# named target (and CI step) means a config-knob change that breaks an
+# example fails loudly as "examples", not somewhere in the package walk.
+examples:
+	$(GO) build ./examples/...
 
 vet:
 	$(GO) vet ./...
@@ -32,7 +38,19 @@ bench:
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
-ci: build vet fmt-check race bench-smoke
+# Diff the newest local BENCH_*.json against the committed baseline and
+# flag >10% regressions (scripts/benchcmp). Non-blocking in CI: smoke
+# numbers are noisy, the report is the artifact.
+bench-compare:
+	@base="$$(git ls-files 'BENCH_*.json' | while read -r f; do \
+		echo "$$(git log -1 --format=%ct -- "$$f") $$f"; done | sort -n | tail -1 | cut -d' ' -f2-)"; \
+	new="$$(ls -t BENCH_*.json 2>/dev/null | head -1)"; \
+	if [ -z "$$base" ] || [ -z "$$new" ] || [ "$$base" = "$$new" ]; then \
+		echo "bench-compare: need a committed baseline and a fresh BENCH_*.json (run make bench)"; exit 1; fi; \
+	echo "comparing $$base -> $$new"; \
+	$(GO) run ./scripts/benchcmp "$$base" "$$new"
+
+ci: build examples vet fmt-check race bench-smoke
 
 clean:
 	rm -f BENCH_*.json BENCH_*.txt

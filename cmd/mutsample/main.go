@@ -22,6 +22,8 @@
 //	-repeats N     repetitions averaged per measurement (default 5)
 //	-workers N     mutant-scoring and fault-simulation pool size
 //	               (0 = all cores, 1 = serial reference engines)
+//	-lanewords N   compiled-engine lane width in 64-bit words
+//	               (0 = default, 1/4/8 = 64/256/512 lanes per pass)
 package main
 
 import (
@@ -97,7 +99,7 @@ commands:
   testability <circuit>      SCOAP controllability/observability report
   faultsim <circuit>         fault-simulate pseudo-random data, print curve
 
-experiment flags: -seed N  -horizon N  -equiv N  -frac F  -workers N
+experiment flags: -seed N  -horizon N  -equiv N  -frac F  -workers N  -lanewords N
 `)
 }
 
@@ -110,6 +112,7 @@ func experimentFlags(fs *flag.FlagSet) func() core.Config {
 	frac := fs.Float64("frac", 0.10, "mutant sampling fraction")
 	repeats := fs.Int("repeats", 0, "repetitions averaged per measurement (default 5)")
 	workers := fs.Int("workers", 0, "mutant-scoring and fault-simulation pool size (0 = all cores, 1 = serial reference)")
+	laneWords := fs.Int("lanewords", 0, "compiled-engine lane width in 64-bit words (0 = default, 1/4/8)")
 	return func() core.Config {
 		return core.Config{
 			Seed:        *seed,
@@ -118,6 +121,7 @@ func experimentFlags(fs *flag.FlagSet) func() core.Config {
 			SampleFrac:  *frac,
 			Repeats:     *repeats,
 			Workers:     *workers,
+			LaneWords:   *laneWords,
 		}
 	}
 }
@@ -386,6 +390,7 @@ func cmdFaultSim(args []string) error {
 	seed := fs.Int64("seed", 1, "stimulus seed")
 	curveEvery := fs.Int("curve", 32, "print coverage every N patterns (0 = final only)")
 	workers := fs.Int("workers", 0, "fault-simulation pool size (0 = all cores, 1 = serial reference)")
+	laneWords := fs.Int("lanewords", 0, "compiled-engine lane width in 64-bit words (0 = default, 1/4/8)")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("usage: mutsample faultsim <circuit>")
@@ -398,7 +403,7 @@ func cmdFaultSim(args []string) error {
 	if err != nil {
 		return err
 	}
-	sim, err := faultsim.Config{Workers: *workers}.New(nl, nil)
+	sim, err := faultsim.Config{Workers: *workers, LaneWords: *laneWords}.New(nl, nil)
 	if err != nil {
 		return err
 	}

@@ -9,7 +9,17 @@
 // operator's class is sampled in proportion to its measured stuck-at
 // fault-coverage efficiency (NLFCE) instead of uniformly.
 //
+// Both simulation substrates (behavioral mutant scoring and gate-level
+// fault simulation) run on compiled engines that execute over multi-word
+// lane vectors (internal/lane: W×64 lanes per pass, W ∈ {1,4,8}), so one
+// pass carries up to 512 fault machines or a 512-mutant lockstep batch.
+// The LaneWords knob on faultsim.Config, mutscore.Config and core.Config
+// selects the width (0 = auto); Workers:1 + LaneWords:1 is the pinned
+// serial reference every configuration is differentially tested against
+// (internal/difftest).
+//
 // See README.md for the package inventory, build/test/benchmark entry
-// points and the two-engine simulation design, and bench_test.go for the
-// harness that regenerates every table of the paper's evaluation.
+// points, the two-engine simulation design and the lane-width guidance,
+// and bench_test.go for the harness that regenerates every table of the
+// paper's evaluation.
 package repro

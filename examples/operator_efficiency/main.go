@@ -27,7 +27,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		flow, err := core.NewFlow(c, core.Config{Seed: 1})
+		flow, err := core.NewFlow(c, core.Config{Seed: 1, LaneWords: 4})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -61,8 +61,10 @@ func main() {
 	fmt.Printf("mutation score on all mutants: %.2f%%\n",
 		100*mutscore.Score(killed, equiv))
 
-	// 6. Re-use the same data as a structural stuck-at test set.
-	fsim, err := faultsim.New(nl, nil)
+	// 6. Re-use the same data as a structural stuck-at test set. The
+	// explicit config pins the parallel-fault engine to 512 lanes per
+	// pass (LaneWords: 8); the zero value picks a width automatically.
+	fsim, err := faultsim.Config{LaneWords: 8}.New(nl, nil)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -65,16 +65,24 @@ type Config struct {
 	// compiled engines, 1 the serial reference engines kept for
 	// differential testing. Results are identical either way.
 	Workers int
+	// LaneWords sizes the compiled engines' lane vectors (faults and
+	// mutants per pass = LaneWords×64): 1, 4 and 8 force 64/256/512
+	// lanes, and 0 lets each engine pick its own default (fault
+	// simulation goes wide on sequential circuits and narrow on
+	// combinational ones; scoring batches use lane.DefaultWords).
+	// Workers:1 + LaneWords:1 is the bit-identical legacy reference
+	// configuration. Results are identical for every setting.
+	LaneWords int
 }
 
 // mutscoreConfig projects the flow configuration onto the scoring engine.
 func (c Config) mutscoreConfig() mutscore.Config {
-	return mutscore.Config{Workers: c.Workers}
+	return mutscore.Config{Workers: c.Workers, LaneWords: c.LaneWords}
 }
 
 // faultsimConfig projects the flow configuration onto the fault simulator.
 func (c Config) faultsimConfig() faultsim.Config {
-	return faultsim.Config{Workers: c.Workers}
+	return faultsim.Config{Workers: c.Workers, LaneWords: c.LaneWords}
 }
 
 func (c Config) withDefaults() Config {

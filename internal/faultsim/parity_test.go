@@ -10,10 +10,16 @@ import (
 	"repro/internal/synth"
 )
 
-// parityConfigs spans the interesting worker settings: the single-fault
-// serial reference engine (1), the compiled parallel-fault engine at two
-// fixed pool sizes, and the all-cores default (0).
-var parityConfigs = []Config{{Workers: 1}, {Workers: 2}, {Workers: 5}, {Workers: 0}}
+// parityConfigs spans the interesting engine settings: the single-fault
+// serial reference engine (Workers 1), and the compiled parallel-fault
+// engine at every lane width × {fixed pools, all-cores default}.
+var parityConfigs = []Config{
+	{Workers: 1},
+	{Workers: 2, LaneWords: 1}, {Workers: 5, LaneWords: 1}, {Workers: 0, LaneWords: 1},
+	{Workers: 2, LaneWords: 4}, {Workers: 5, LaneWords: 4}, {Workers: 0, LaneWords: 4},
+	{Workers: 2, LaneWords: 8}, {Workers: 5, LaneWords: 8}, {Workers: 0, LaneWords: 8},
+	{Workers: 0}, // LaneWords 0: the lane.DefaultWords production setting
+}
 
 // randPatterns builds a deterministic random test set.
 func randPatterns(nPIs, n int, seed int64) []Pattern {
@@ -29,10 +35,11 @@ func randPatterns(nPIs, n int, seed int64) []Pattern {
 	return out
 }
 
-// randomParityNetlist builds a random netlist with optional flip-flops;
-// it mirrors the generator in internal/netlist's compile tests so the
-// engine parity is exercised on circuits no benchmark covers.
-func randomParityNetlist(t *testing.T, seed int64, nFFs int) *netlist.Netlist {
+// randomParityNetlist builds a random netlist with optional flip-flops
+// and nGates combinational gates; it mirrors the generator in
+// internal/netlist's compile tests so the engine parity is exercised on
+// circuits no benchmark covers.
+func randomParityNetlist(t *testing.T, seed int64, nFFs, nGates int) *netlist.Netlist {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
 	n := netlist.New(fmt.Sprintf("prand%d", seed))
@@ -44,7 +51,7 @@ func randomParityNetlist(t *testing.T, seed int64, nFFs int) *netlist.Netlist {
 	}
 	comb := []netlist.GateType{netlist.Buf, netlist.Not, netlist.And, netlist.Or,
 		netlist.Nand, netlist.Nor, netlist.Xor, netlist.Xnor}
-	for i := 0; i < 25; i++ {
+	for i := 0; i < nGates; i++ {
 		ty := comb[rng.Intn(len(comb))]
 		arity := 2 + rng.Intn(3)
 		if ty == netlist.Buf || ty == netlist.Not {
@@ -78,7 +85,7 @@ func assertParity(t *testing.T, nl *netlist.Netlist, tests []Pattern) {
 	var refOn *Result
 	var subset []int
 	for _, cfg := range parityConfigs {
-		label := fmt.Sprintf("workers=%d", cfg.Workers)
+		label := fmt.Sprintf("workers=%d/lanewords=%d", cfg.Workers, cfg.LaneWords)
 		s, err := cfg.New(nl, nil)
 		if err != nil {
 			t.Fatalf("%s: %v", label, err)
@@ -151,7 +158,7 @@ func TestEngineParityRandomNetlists(t *testing.T) {
 	for seed := int64(0); seed < 6; seed++ {
 		nFFs := int(seed) % 3 * 2 // 0 (combinational), 2, 4
 		t.Run(fmt.Sprintf("seed=%d/ffs=%d", seed, nFFs), func(t *testing.T) {
-			nl := randomParityNetlist(t, seed, nFFs)
+			nl := randomParityNetlist(t, seed, nFFs, 25)
 			assertParity(t, nl, randPatterns(len(nl.PIs), 100, seed+40))
 		})
 	}

@@ -1,0 +1,183 @@
+package faultsim
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/lane"
+)
+
+// raggedSizes enumerates the batch sizes that stress lane masking at lane
+// width W: empty, single, around the first word boundary, and around the
+// full-vector boundary W×64±1, clipped to the available count.
+func raggedSizes(W, avail int) []int {
+	L := W * 64
+	cand := []int{0, 1, 63, 64, 65, L - 1, L, L + 1}
+	var out []int
+	seen := make(map[int]bool)
+	for _, n := range cand {
+		if n < 0 || n > avail || seen[n] {
+			continue
+		}
+		seen[n] = true
+		out = append(out, n)
+	}
+	return out
+}
+
+// TestRaggedTailFaultBatches pins per-lane masking on ragged fault
+// batches: RunOn with 0, 1, 63, 64, 65 and W×64±1 faults must reproduce
+// the serial reference exactly at every lane width, on a sequential
+// netlist whose fault list spills past the widest vector.
+func TestRaggedTailFaultBatches(t *testing.T) {
+	nl := randomParityNetlist(t, 99, 4, 420)
+	tests := randPatterns(len(nl.PIs), 24, 5)
+
+	ref, err := Config{Workers: 1}.New(nl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nFaults := len(ref.Faults())
+	if nFaults <= 8*64 {
+		t.Fatalf("want > %d collapsed faults to overflow the widest vector, got %d", 8*64, nFaults)
+	}
+
+	for _, W := range lane.Widths() {
+		for _, n := range raggedSizes(W, nFaults) {
+			t.Run(fmt.Sprintf("W=%d/n=%d", W, n), func(t *testing.T) {
+				// Strided include set: the batch spans the fault list, so
+				// lanes carry unrelated sites rather than one gate's cluster.
+				stride := nFaults / (n + 1)
+				if stride == 0 {
+					stride = 1
+				}
+				include := make([]int, 0, n)
+				for i := 0; len(include) < n; i++ {
+					include = append(include, (i*stride+i)%nFaults)
+				}
+				seen := make(map[int]bool)
+				for i, fi := range include {
+					for seen[fi] {
+						fi = (fi + 1) % nFaults
+					}
+					include[i] = fi
+					seen[fi] = true
+				}
+				want, err := ref.RunOn(tests, include)
+				if err != nil {
+					t.Fatal(err)
+				}
+				s, err := Config{Workers: 2, LaneWords: W}.New(nl, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := s.RunOn(tests, include)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range want.FirstDetected {
+					if got.FirstDetected[i] != want.FirstDetected[i] {
+						t.Errorf("fault %d: detected at %d, reference %d",
+							i, got.FirstDetected[i], want.FirstDetected[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestRaggedTailPatternBatches pins the pattern-parallel tail mask on
+// combinational circuits: test-set lengths around the word and vector
+// boundaries must match the reference profile at every lane width (a
+// pattern past the tail mask must never count as a detection).
+func TestRaggedTailPatternBatches(t *testing.T) {
+	nl := randomParityNetlist(t, 104, 0, 120)
+	ref, err := Config{Workers: 1}.New(nl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, W := range lane.Widths() {
+		s, err := Config{Workers: 0, LaneWords: W}.New(nl, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range raggedSizes(W, 1<<30) {
+			if n == 0 {
+				continue // Run with zero patterns detects nothing everywhere
+			}
+			t.Run(fmt.Sprintf("W=%d/patterns=%d", W, n), func(t *testing.T) {
+				tests := randPatterns(len(nl.PIs), n, int64(n))
+				want, err := ref.Run(tests)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := s.Run(tests)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range want.FirstDetected {
+					if got.FirstDetected[i] != want.FirstDetected[i] {
+						t.Errorf("fault %d: detected at %d, reference %d",
+							i, got.FirstDetected[i], want.FirstDetected[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestRunOnEmptyAndSingle pins the degenerate include sets: a non-nil
+// empty include simulates nothing (all -1), and a single-element include
+// touches exactly that fault, at every lane width.
+func TestRunOnEmptyAndSingle(t *testing.T) {
+	nl := randomParityNetlist(t, 2, 2, 25)
+	tests := randPatterns(len(nl.PIs), 40, 9)
+	ref, err := Config{Workers: 1}.New(nl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refAll, err := ref.Run(tests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fault the sequence actually detects makes the single-element case
+	// meaningful.
+	target := -1
+	for i, d := range refAll.FirstDetected {
+		if d >= 0 {
+			target = i
+			break
+		}
+	}
+	if target < 0 {
+		t.Fatal("no detected fault to single out")
+	}
+	for _, cfg := range []Config{{Workers: 1}, {LaneWords: 1}, {LaneWords: 4}, {LaneWords: 8}} {
+		label := fmt.Sprintf("workers=%d/lanewords=%d", cfg.Workers, cfg.LaneWords)
+		s, err := cfg.New(nl, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		empty, err := s.RunOn(tests, []int{})
+		if err != nil {
+			t.Fatalf("%s: empty include: %v", label, err)
+		}
+		for i, d := range empty.FirstDetected {
+			if d != -1 {
+				t.Errorf("%s: empty include detected fault %d at %d", label, i, d)
+			}
+		}
+		single, err := s.RunOn(tests, []int{target})
+		if err != nil {
+			t.Fatalf("%s: single include: %v", label, err)
+		}
+		for i, d := range single.FirstDetected {
+			switch {
+			case i == target && d != refAll.FirstDetected[target]:
+				t.Errorf("%s: target fault at %d, reference %d", label, d, refAll.FirstDetected[target])
+			case i != target && d != -1:
+				t.Errorf("%s: leaked fault %d at %d", label, i, d)
+			}
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"repro/internal/lane"
 	"repro/internal/netlist"
 	"repro/internal/par"
 )
@@ -83,6 +84,17 @@ type Config struct {
 	// differential testing, mirroring mutscore.Config. Results are
 	// identical for every setting (see parity_test.go).
 	Workers int
+	// LaneWords selects the compiled engine's lane vector width in 64-bit
+	// words: 1, 4 or 8 force 64, 256 or 512 fault lanes per pass, and 0
+	// picks the measured auto default — 8 for sequential circuits (wide
+	// vectors amortize the per-gate decode over more fault machines) and
+	// 1 for combinational ones (per-fault early exit makes the first
+	// 64-pattern batch decisive, so extra words are waste; see the
+	// engine-ablation benchmarks). W=1 is the original single-word
+	// engine, bit for bit. The serial reference engine (Workers == 1)
+	// simulates one fault at a time and ignores this knob. Results are
+	// identical for every setting.
+	LaneWords int
 }
 
 func (c Config) reference() bool { return c.Workers == 1 }
@@ -93,6 +105,7 @@ type Simulator struct {
 	nl     *netlist.Netlist
 	faults []Fault
 	cfg    Config
+	words  int // resolved lane vector width
 
 	good *netlist.Evaluator // reference engine (Workers == 1)
 	bad  *netlist.Evaluator
@@ -108,11 +121,23 @@ func New(nl *netlist.Netlist, faults []Fault) (*Simulator, error) {
 // New builds a fault simulator under this configuration. The fault list
 // defaults to Faults(nl) when faults is nil.
 func (c Config) New(nl *netlist.Netlist, faults []Fault) (*Simulator, error) {
+	if _, err := lane.Resolve(c.LaneWords); err != nil {
+		return nil, fmt.Errorf("faultsim: %w", err)
+	}
+	words := c.LaneWords
+	if words == 0 {
+		// Auto width, per topology: see the LaneWords comment.
+		if nl.IsSequential() {
+			words = 8
+		} else {
+			words = 1
+		}
+	}
+	var err error
 	if faults == nil {
 		faults = Faults(nl)
 	}
-	s := &Simulator{nl: nl, faults: faults, cfg: c}
-	var err error
+	s := &Simulator{nl: nl, faults: faults, cfg: c, words: words}
 	if c.reference() {
 		if s.good, err = netlist.NewEvaluator(nl); err != nil {
 			return nil, err
@@ -132,20 +157,20 @@ func (c Config) New(nl *netlist.Netlist, faults []Fault) (*Simulator, error) {
 func (s *Simulator) Faults() []Fault { return s.faults }
 
 // Run fault-simulates the ordered test set and returns the first-detection
-// profile. Combinational circuits treat each pattern independently
-// (64-way pattern-parallel); sequential circuits treat the whole set as
-// one sequence applied from power-on reset, simulated 64 faults at a time
+// profile. Combinational circuits treat each pattern independently (W×64
+// patterns per pass); sequential circuits treat the whole set as one
+// sequence applied from power-on reset, simulated W×64 faults at a time
 // (parallel-fault, one fault machine per lane) with per-lane fault
-// dropping at first detection.
+// dropping at first detection. W is the configured LaneWords.
 func (s *Simulator) Run(tests []Pattern) (*Result, error) {
 	return s.RunOn(tests, nil)
 }
 
 // RunOn is Run restricted to the faults whose indices are listed (nil
-// means the whole list). Indices must be unique — duplicates would put
-// the same fault in two parallel batches. Excluded faults keep
-// FirstDetected == -1. Fault-dropping callers (ATPG) use it to
-// re-simulate only still-alive faults.
+// means the whole list; a non-nil empty list simulates nothing). Indices
+// must be unique — duplicates would put the same fault in two parallel
+// batches. Excluded faults keep FirstDetected == -1. Fault-dropping
+// callers (ATPG) use it to re-simulate only still-alive faults.
 func (s *Simulator) RunOn(tests []Pattern, include []int) (*Result, error) {
 	for i, p := range tests {
 		if len(p) != len(s.nl.PIs) {
@@ -191,7 +216,8 @@ func (s *Simulator) RunOn(tests []Pattern, include []int) (*Result, error) {
 
 const allLanes = ^uint64(0)
 
-// laneMaskFor returns the mask selecting the first n of 64 lanes.
+// laneMaskFor returns the mask selecting the first n of 64 lanes (the
+// reference engine's single-word tail mask).
 func laneMaskFor(n int) uint64 {
 	if n >= 64 {
 		return allLanes
@@ -199,20 +225,34 @@ func laneMaskFor(n int) uint64 {
 	return uint64(1)<<uint(n) - 1
 }
 
-// packPatternBatches packs the test set into 64-pattern PI word batches
-// (bit k of every word is pattern lo+k).
-func (s *Simulator) packPatternBatches(tests []Pattern) [][]uint64 {
-	nBatches := (len(tests) + 63) / 64
-	out := make([][]uint64, nBatches)
+// runCombinational dispatches the pattern-parallel scheduler at the
+// resolved lane width; each width stencils its own scheduler and machine.
+func (s *Simulator) runCombinational(res *Result, tests []Pattern, include []int) error {
+	switch s.words {
+	case 4:
+		return runCombinationalLanes[lane.W4](s, res, tests, include)
+	case 8:
+		return runCombinationalLanes[lane.W8](s, res, tests, include)
+	default:
+		return runCombinationalLanes[lane.W1](s, res, tests, include)
+	}
+}
+
+// packPatternBatches packs the test set into W×64-pattern PI vector
+// batches (lane k·64+t of every vector is pattern lo+k·64+t).
+func packPatternBatches[W lane.Word](s *Simulator, tests []Pattern) [][]W {
+	L := lane.Count[W]()
+	nBatches := (len(tests) + L - 1) / L
+	out := make([][]W, nBatches)
 	for b := 0; b < nBatches; b++ {
-		lo := b * 64
-		hi := min(lo+64, len(tests))
-		words := make([]uint64, len(s.nl.PIs))
+		lo := b * L
+		hi := min(lo+L, len(tests))
+		words := make([]W, len(s.nl.PIs))
 		for pi := range words {
-			var w uint64
-			for lane, t := lo, 0; lane < hi; lane, t = lane+1, t+1 {
-				if tests[lane][pi] != 0 {
-					w |= 1 << uint(t)
+			var w W
+			for ln, t := lo, 0; ln < hi; ln, t = ln+1, t+1 {
+				if tests[ln][pi] != 0 {
+					w[t>>6] |= 1 << uint(t&63)
 				}
 			}
 			words[pi] = w
@@ -222,15 +262,15 @@ func (s *Simulator) packPatternBatches(tests []Pattern) [][]uint64 {
 	return out
 }
 
-// broadcastWords converts each pattern to PI words replicated across all
-// 64 lanes (the sequential stimulus: every lane applies the same cycle).
-func (s *Simulator) broadcastWords(tests []Pattern) [][]uint64 {
-	out := make([][]uint64, len(tests))
+// broadcastWords converts each pattern to PI vectors replicated across
+// all lanes (the sequential stimulus: every lane applies the same cycle).
+func broadcastWords[W lane.Word](s *Simulator, tests []Pattern) [][]W {
+	out := make([][]W, len(tests))
 	for cyc, p := range tests {
-		words := make([]uint64, len(s.nl.PIs))
+		words := make([]W, len(s.nl.PIs))
 		for pi, v := range p {
 			if v != 0 {
-				words[pi] = allLanes
+				words[pi] = lane.Broadcast[W](allLanes)
 			}
 		}
 		out[cyc] = words
@@ -238,106 +278,230 @@ func (s *Simulator) broadcastWords(tests []Pattern) [][]uint64 {
 	return out
 }
 
-// runCombinational is the compiled pattern-parallel path: per fault, one
-// Machine pass per 64-pattern batch until first detection, fanned over a
-// worker pool with a private Machine per worker.
-func (s *Simulator) runCombinational(res *Result, tests []Pattern, include []int) error {
-	batchPIs := s.packPatternBatches(tests)
-	goodM := s.prog.NewMachine()
-	batchGood := make([][]uint64, len(batchPIs))
+// runCombinationalLanes is the compiled pattern-parallel path: per fault,
+// one Machine pass per W×64-pattern batch until first detection, fanned
+// over a worker pool with a private Machine per worker.
+func runCombinationalLanes[W lane.Word](s *Simulator, res *Result, tests []Pattern, include []int) error {
+	batchPIs := packPatternBatches[W](s, tests)
+	goodM := netlist.NewMachine[W](s.prog)
+	batchGood := make([][]W, len(batchPIs))
 	for b, words := range batchPIs {
-		batchGood[b] = append([]uint64(nil), goodM.Eval(words)...)
+		batchGood[b] = append([]W(nil), goodM.Eval(words)...)
 	}
 
+	L := lane.Count[W]()
 	workers := par.Workers(s.cfg.Workers, len(include))
-	machines := make([]*netlist.Machine, workers)
+	machines := make([]*netlist.Machine[W], workers)
 	machines[0] = goodM
 	for w := 1; w < workers; w++ {
-		machines[w] = s.prog.NewMachine()
+		machines[w] = netlist.NewMachine[W](s.prog)
 	}
-	par.Indexed(len(include), s.cfg.Workers, func(w, k int) {
-		fi := include[k]
+	all := lane.Broadcast[W](allLanes)
+	par.Indexed(len(include), s.cfg.Workers, func(w, j int) {
+		fi := include[j]
 		m := machines[w]
 		m.ClearFaults()
-		m.InjectFault(s.faults[fi].Site, allLanes)
+		m.InjectFault(s.faults[fi].Site, all)
 		for b, words := range batchPIs {
-			lo := b * 64
-			laneMask := laneMaskFor(len(tests) - lo)
+			lo := b * L
+			laneMask := lane.FirstN[W](len(tests) - lo)
 			badOut := m.Eval(words)
-			var diff uint64
+			var diff W
 			for po := range badOut {
-				diff |= (badOut[po] ^ batchGood[b][po]) & laneMask
+				bad, good := badOut[po], batchGood[b][po]
+				for k := 0; k < len(diff); k++ {
+					diff[k] |= (bad[k] ^ good[k]) & laneMask[k]
+				}
 			}
-			if diff != 0 {
-				res.FirstDetected[fi] = lo + bits.TrailingZeros64(diff)
-				return
+			// First detection is the lowest set lane: words in order, then
+			// the lowest bit of the first non-zero word.
+			for k := 0; k < len(diff); k++ {
+				if diff[k] != 0 {
+					res.FirstDetected[fi] = lo + k*64 + bits.TrailingZeros64(diff[k])
+					return
+				}
 			}
 		}
 	})
 	return nil
 }
 
-// runSequential is the parallel-fault path the Evaluator's 64 lanes were
-// built for: the undetected queue is consumed 64 faults per batch, one
-// fault machine per lane, against broadcast stimuli. A lane is dropped at
-// its first detection; a batch ends early once every lane has dropped.
-// Batches are independent, so they fan out over the worker pool.
-func (s *Simulator) runSequential(res *Result, tests []Pattern, include []int) error {
-	piWords := s.broadcastWords(tests)
+// seqChunk is one parallel-fault work item: faults include[lo:hi]
+// simulated on a machine of the given lane width.
+type seqChunk struct {
+	lo, hi int
+	words  int
+}
 
-	// Good-machine reference run (any single lane is the good trace, but
-	// keeping all 64 identical makes the per-lane XOR below direct).
-	goodM := s.prog.NewMachine()
+// passCost approximates the relative cost of one instruction-stream pass
+// at each width, in tenths of a W=1 pass (measured on the benchmark
+// circuits: wider passes amortize the per-gate decode but touch W times
+// the data).
+func passCost(words int) int {
+	switch words {
+	case 4:
+		return 19
+	case 8:
+		return 22
+	}
+	return 10
+}
+
+// tailWidth picks the cheapest lane width ≤ maxWords for an n-fault tail:
+// the width minimizing batch count × per-pass cost, preferring narrower
+// machines on ties. A 55-fault tail runs on a one-word machine instead of
+// wasting seven dead words per pass of an eight-word one.
+func tailWidth(n, maxWords int) int {
+	best, bestCost := 1, (n+63)/64*passCost(1)
+	for _, w := range []int{4, 8} {
+		if w > maxWords {
+			break
+		}
+		if c := (n + w*64 - 1) / (w * 64) * passCost(w); c < bestCost {
+			best, bestCost = w, c
+		}
+	}
+	return best
+}
+
+// planSeqChunks carves the include list into lane batches: full-width
+// batches at the configured width, then ragged-tail batches at whatever
+// narrower width simulates the remainder cheapest.
+func (s *Simulator) planSeqChunks(n int) []seqChunk {
+	var out []seqChunk
+	L := s.words * 64
+	lo := 0
+	for n-lo >= L {
+		out = append(out, seqChunk{lo: lo, hi: lo + L, words: s.words})
+		lo += L
+	}
+	for lo < n {
+		w := tailWidth(n-lo, s.words)
+		hi := min(lo+w*64, n)
+		out = append(out, seqChunk{lo: lo, hi: hi, words: w})
+		lo = hi
+	}
+	return out
+}
+
+// seqMachines lazily holds one machine per lane width for one worker;
+// most workers only ever instantiate the configured width, and tail
+// chunks borrow a narrow machine on demand.
+type seqMachines struct {
+	w1 *netlist.Machine[lane.W1]
+	w4 *netlist.Machine[lane.W4]
+	w8 *netlist.Machine[lane.W8]
+}
+
+// runSequential is the parallel-fault path the lane vectors were built
+// for: the undetected queue is consumed W×64 faults per batch, one fault
+// machine per lane, against broadcast stimuli. A lane is dropped at its
+// first detection; a batch ends early once every lane has dropped.
+// Batches are independent, so they fan out over the worker pool. The
+// good trace is simulated once, single-word (every lane of a broadcast
+// run is identical), and shared by chunks of every width.
+func (s *Simulator) runSequential(res *Result, tests []Pattern, include []int) error {
+	chunks := s.planSeqChunks(len(include))
+
+	// Width-independent stimuli and good trace.
+	pi1 := broadcastWords[lane.W1](s, tests)
+	goodM := netlist.NewMachine[lane.W1](s.prog)
 	goodPOs := make([][]uint64, len(tests))
-	for cyc, words := range piWords {
-		goodPOs[cyc] = append([]uint64(nil), goodM.Eval(words)...)
+	for cyc, words := range pi1 {
+		out := goodM.Eval(words)
+		row := make([]uint64, len(out))
+		for po := range out {
+			row[po] = out[po][0]
+		}
+		goodPOs[cyc] = row
 		goodM.Clock()
 	}
 
-	nBatches := (len(include) + 63) / 64
-	workers := par.Workers(s.cfg.Workers, nBatches)
-	machines := make([]*netlist.Machine, workers)
-	machines[0] = goodM
-	for w := 1; w < workers; w++ {
-		machines[w] = s.prog.NewMachine()
-	}
-	par.Indexed(nBatches, s.cfg.Workers, func(w, b int) {
-		lo := b * 64
-		batch := include[lo:min(lo+64, len(include))]
-		m := machines[w]
-		m.ClearFaults()
-		for lane, fi := range batch {
-			m.InjectFault(s.faults[fi].Site, 1<<uint(lane))
+	// Broadcast stimuli per width actually scheduled.
+	var pi4 [][]lane.W4
+	var pi8 [][]lane.W8
+	for _, c := range chunks {
+		switch {
+		case c.words == 4 && pi4 == nil:
+			pi4 = broadcastWords[lane.W4](s, tests)
+		case c.words == 8 && pi8 == nil:
+			pi8 = broadcastWords[lane.W8](s, tests)
 		}
-		m.Reset()
-		active := laneMaskFor(len(batch))
-		for cyc := range tests {
-			badOut := m.Eval(piWords[cyc])
-			var diff uint64
-			for po := range badOut {
-				diff |= badOut[po] ^ goodPOs[cyc][po]
+	}
+
+	workers := par.Workers(s.cfg.Workers, len(chunks))
+	machines := make([]seqMachines, workers)
+	machines[0].w1 = goodM
+	par.Indexed(len(chunks), s.cfg.Workers, func(w, ci int) {
+		c := chunks[ci]
+		batch := include[c.lo:c.hi]
+		mw := &machines[w]
+		switch c.words {
+		case 4:
+			if mw.w4 == nil {
+				mw.w4 = netlist.NewMachine[lane.W4](s.prog)
 			}
-			diff &= active
-			for diff != 0 {
-				lane := bits.TrailingZeros64(diff)
-				res.FirstDetected[batch[lane]] = cyc
-				diff &^= 1 << uint(lane)
-				active &^= 1 << uint(lane)
+			runSeqChunk(s, res, tests, batch, mw.w4, pi4, goodPOs)
+		case 8:
+			if mw.w8 == nil {
+				mw.w8 = netlist.NewMachine[lane.W8](s.prog)
 			}
-			if active == 0 {
-				return
+			runSeqChunk(s, res, tests, batch, mw.w8, pi8, goodPOs)
+		default:
+			if mw.w1 == nil {
+				mw.w1 = netlist.NewMachine[lane.W1](s.prog)
 			}
-			m.Clock()
+			runSeqChunk(s, res, tests, batch, mw.w1, pi1, goodPOs)
 		}
 	})
 	return nil
+}
+
+// runSeqChunk simulates one fault batch, one fault machine per lane,
+// with per-lane dropping at first detection and early exit once every
+// lane (and so every word) has dropped.
+func runSeqChunk[W lane.Word](s *Simulator, res *Result, tests []Pattern, batch []int, m *netlist.Machine[W], piWords [][]W, goodPOs [][]uint64) {
+	m.ClearFaults()
+	for ln, fi := range batch {
+		m.InjectFault(s.faults[fi].Site, lane.Bit[W](ln))
+	}
+	m.Reset()
+	active := lane.FirstN[W](len(batch))
+	for cyc := range tests {
+		badOut := m.Eval(piWords[cyc])
+		good := goodPOs[cyc]
+		anyActive := false
+		for k := 0; k < len(active); k++ {
+			if active[k] == 0 {
+				continue // every lane of this word already dropped
+			}
+			var d uint64
+			for po := range badOut {
+				d |= badOut[po][k] ^ good[po]
+			}
+			d &= active[k]
+			for d != 0 {
+				ln := bits.TrailingZeros64(d)
+				res.FirstDetected[batch[k*64+ln]] = cyc
+				d &^= 1 << uint(ln)
+				active[k] &^= 1 << uint(ln)
+			}
+			if active[k] != 0 {
+				anyActive = true
+			}
+		}
+		if !anyActive {
+			return
+		}
+		m.Clock()
+	}
 }
 
 // runCombinationalRef is the single-fault reference: one Evaluator pass
 // per fault per batch, strictly serial. Kept verbatim as the differential
 // baseline for the compiled engine.
 func (s *Simulator) runCombinationalRef(res *Result, tests []Pattern, include []int) error {
-	batchPIs := s.packPatternBatches(tests)
+	batchPIs := s.packPatternBatchesRef(tests)
 	batchGood := make([][]uint64, len(batchPIs))
 	for b, words := range batchPIs {
 		goodOut, err := s.good.Eval(words)
@@ -365,11 +529,44 @@ func (s *Simulator) runCombinationalRef(res *Result, tests []Pattern, include []
 	return nil
 }
 
+// packPatternBatchesRef packs the test set into 64-pattern PI word
+// batches for the single-word Evaluator (bit t of every word is pattern
+// lo+t).
+func (s *Simulator) packPatternBatchesRef(tests []Pattern) [][]uint64 {
+	nBatches := (len(tests) + 63) / 64
+	out := make([][]uint64, nBatches)
+	for b := 0; b < nBatches; b++ {
+		lo := b * 64
+		hi := min(lo+64, len(tests))
+		words := make([]uint64, len(s.nl.PIs))
+		for pi := range words {
+			var w uint64
+			for ln, t := lo, 0; ln < hi; ln, t = ln+1, t+1 {
+				if tests[ln][pi] != 0 {
+					w |= 1 << uint(t)
+				}
+			}
+			words[pi] = w
+		}
+		out[b] = words
+	}
+	return out
+}
+
 // runSequentialRef is the single-fault reference: each fault replays the
 // whole sequence from power-on reset on its own Evaluator, broadcast
 // across all lanes, strictly serial.
 func (s *Simulator) runSequentialRef(res *Result, tests []Pattern, include []int) error {
-	piWords := s.broadcastWords(tests)
+	piWords := make([][]uint64, len(tests))
+	for cyc, p := range tests {
+		words := make([]uint64, len(s.nl.PIs))
+		for pi, v := range p {
+			if v != 0 {
+				words[pi] = allLanes
+			}
+		}
+		piWords[cyc] = words
+	}
 	goodPOs := make([][]uint64, len(tests))
 	s.good.Reset()
 	for cyc, words := range piWords {

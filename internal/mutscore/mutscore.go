@@ -3,12 +3,13 @@
 // budgeted-campaign estimate of the equivalent-mutant count E.
 //
 // Mutant simulation is embarrassingly parallel. The default engine
-// compiles every circuit once (sim.Compile) and scores batches of mutants
-// on a worker pool with early-kill dropping against a shared good-circuit
-// trace; Config.Workers sizes the pool, and a Scorer carries the
+// compiles every circuit once (sim.Compile) and scores lane batches of
+// LaneWords×64 mutants in lockstep on a worker pool, with early-kill
+// dropping against a shared good-circuit trace; Config.Workers sizes the
+// pool, Config.LaneWords the batches, and a Scorer carries the
 // compilation across calls so campaigns don't recompile. Workers == 1
 // selects the legacy serial AST-interpreter path, kept for differential
-// testing — both paths produce identical results (see parity_test.go).
+// testing — all paths produce identical results (see parity_test.go).
 package mutscore
 
 import (
@@ -16,6 +17,7 @@ import (
 	"fmt"
 
 	"repro/internal/hdl"
+	"repro/internal/lane"
 	"repro/internal/mutation"
 	"repro/internal/sim"
 	"repro/internal/tpg"
@@ -28,6 +30,13 @@ type Config struct {
 	// legacy serial interpreter path kept for differential testing.
 	// Results are identical for every setting.
 	Workers int
+	// LaneWords sizes the compiled engine's scoring batches: mutants are
+	// packed laneWords×64 per pool job and stepped in lockstep against
+	// the shared good trace (0 selects lane.DefaultWords; 1, 4 and 8
+	// force 64/256/512 mutants per batch). The legacy serial path
+	// (Workers == 1) scores one mutant at a time and ignores this knob.
+	// Results are identical for every setting (see parity_test.go).
+	LaneWords int
 }
 
 func (cfg Config) legacy() bool { return cfg.Workers == 1 }
@@ -49,6 +58,9 @@ type Scorer struct {
 // configuration (Workers == 1) no compilation happens and every call runs
 // the serial interpreter.
 func (cfg Config) NewScorer(c *hdl.Circuit, mutants []*mutation.Mutant) (*Scorer, error) {
+	if _, err := lane.Resolve(cfg.LaneWords); err != nil {
+		return nil, fmt.Errorf("mutscore: %w", err)
+	}
 	s := &Scorer{cfg: cfg, c: c, mutants: mutants}
 	if cfg.legacy() {
 		return s, nil
@@ -94,7 +106,7 @@ func (s *Scorer) FirstKillCycles(seq sim.Sequence) ([]int, error) {
 	if err != nil {
 		return nil, err
 	}
-	cycles, err := sim.FirstKillBatch(s.progs, seq, goodOuts, s.cfg.Workers)
+	cycles, err := sim.FirstKillBatch(s.progs, seq, goodOuts, s.cfg.Workers, s.cfg.LaneWords)
 	if err != nil {
 		return nil, s.wrapBatchErr(err, nil)
 	}
@@ -125,7 +137,7 @@ func (s *Scorer) killsSubset(idx []int, seq sim.Sequence) ([]bool, error) {
 	for i, mi := range idx {
 		sub[i] = s.progs[mi]
 	}
-	cycles, err := sim.FirstKillBatch(sub, seq, goodOuts, s.cfg.Workers)
+	cycles, err := sim.FirstKillBatch(sub, seq, goodOuts, s.cfg.Workers, s.cfg.LaneWords)
 	if err != nil {
 		return nil, s.wrapBatchErr(err, idx)
 	}

@@ -10,10 +10,16 @@ import (
 	"repro/internal/tpg"
 )
 
-// parityConfigs spans the interesting worker settings: the legacy serial
-// interpreter (1), the compiled engine single-worker (pinned), a couple of
-// oversubscribed pools, and the all-cores default (0).
-var parityConfigs = []Config{{Workers: 1}, {Workers: 2}, {Workers: 5}, {Workers: 0}}
+// parityConfigs spans the interesting engine settings: the legacy serial
+// interpreter (Workers 1), and the compiled engine at every lane width ×
+// {fixed pools, the all-cores default}.
+var parityConfigs = []Config{
+	{Workers: 1},
+	{Workers: 2, LaneWords: 1}, {Workers: 5, LaneWords: 1}, {Workers: 0, LaneWords: 1},
+	{Workers: 2, LaneWords: 4}, {Workers: 0, LaneWords: 4},
+	{Workers: 2, LaneWords: 8}, {Workers: 0, LaneWords: 8},
+	{Workers: 0}, // LaneWords 0: the lane.DefaultWords production setting
+}
 
 // TestEngineParity is the differential guarantee the ISSUE demands:
 // Workers: 1 (legacy serial interpreter) and every parallel compiled
@@ -34,7 +40,7 @@ func TestEngineParity(t *testing.T) {
 			var refKills []bool
 			var refEquiv []bool
 			for _, cfg := range parityConfigs {
-				label := fmt.Sprintf("workers=%d", cfg.Workers)
+				label := fmt.Sprintf("workers=%d/lanewords=%d", cfg.Workers, cfg.LaneWords)
 				cycles, err := cfg.FirstKillCycles(c, ms, seq)
 				if err != nil {
 					t.Fatalf("%s: %v", label, err)

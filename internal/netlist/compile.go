@@ -8,19 +8,29 @@
 // parallelism. Compile translates a levelized netlist once into a flat
 // slot-indexed instruction stream (two-input gates get dedicated opcodes;
 // wider gates read a shared fanin arena), and Machine carries the mutable
-// state plus a per-batch fault-injection plan: up to 64 *different* fault
-// sites, each masked to its own subset of lanes, so one pass evaluates 64
-// independent fault machines. The fault-free path pays no injection cost
-// (a separate exec loop), and injected gates re-evaluate through a generic
-// masked path that reproduces Evaluator.EvalWith bit-for-bit.
+// state plus a per-batch fault-injection plan: up to lane.Count distinct
+// fault sites, each masked to its own subset of lanes, so one pass
+// evaluates that many independent fault machines.
+//
+// Machine is generic over the lane vector width (lane.Word, W ∈ {1,4,8}):
+// every net value is a W-word vector, so one instruction-stream pass
+// carries W×64 lanes, amortizing the per-gate decode over up to 512 fault
+// machines. Each width stencils its own exec loop with constant-length
+// inner loops. The fault-free path pays no injection cost (a separate
+// exec loop), and injected gates re-evaluate through a generic masked
+// path that reproduces Evaluator.EvalWith bit-for-bit in every lane.
 //
 // Semantics are pinned against the Evaluator differentially: every lane of
-// a Machine pass must equal the corresponding single-fault EvalWith pass
-// (see compile_test.go), which is what lets the fault simulator treat the
-// two engines as interchangeable references.
+// a Machine pass — at every width — must equal the corresponding
+// single-fault EvalWith pass (see compile_test.go), which is what lets the
+// fault simulator treat the engines as interchangeable references.
 package netlist
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/lane"
+)
 
 type gop uint8
 
@@ -56,7 +66,8 @@ type ginstr struct {
 
 // Program is a compiled netlist: the levelized instruction stream plus the
 // load/latch plans the Machine executes around it. It is immutable after
-// Compile and safe to share between any number of Machines.
+// Compile and safe to share between any number of Machines, of any lane
+// width.
 type Program struct {
 	nl     *Netlist
 	code   []ginstr
@@ -182,53 +193,60 @@ func (p *Program) Netlist() *Netlist { return p.nl }
 // injRec is the injection plan for one compiled gate: per-pin overrides
 // (fanout-branch faults as seen by this gate) and an output mask (stem
 // faults). All masks are per-lane, so one record carries many faults.
-type injRec struct {
-	pins    []pinInj
-	outMask uint64 // lanes with a stem fault on this gate's output
-	outVal  uint64 // the stuck word, restricted to outMask
+// dirty marks the words any of the record's masks touch: lanes are
+// independent, so a fault confined to word k can only ever disturb word k
+// of any value in the circuit, and the faulty exec loop re-evaluates
+// exactly the dirty words — the injection cost per pass stays
+// proportional to the fault count, not to the fault count times W.
+type injRec[W lane.Word] struct {
+	pins    []pinInj[W]
+	outMask W      // lanes with a stem fault on this gate's output
+	outVal  W      // the stuck word, restricted to outMask
+	dirty   uint16 // bit k: word k carries a fault at this gate
 }
 
-type pinInj struct {
-	pin  int32
-	mask uint64
-	val  uint64
+type pinInj[W lane.Word] struct {
+	pin       int32
+	mask, val W
 }
 
-type slotInj struct {
+type slotInj[W lane.Word] struct {
 	slot      int32
-	mask, val uint64
+	mask, val W
 }
 
-type ffInj struct {
+type ffInj[W lane.Word] struct {
 	ff        int32
-	mask, val uint64
+	mask, val W
 }
 
-// Machine is the mutable execution state of one Program: net values, FF
-// state, and the current fault-injection batch. Machines are cheap; a
-// worker pool creates one per worker. Not safe for concurrent use.
-type Machine struct {
+// Machine is the mutable execution state of one Program at one lane
+// width: net values, FF state, and the current fault-injection batch.
+// Machines are cheap; a worker pool creates one per worker. Not safe for
+// concurrent use.
+type Machine[W lane.Word] struct {
 	p     *Program
-	vals  []uint64
-	state []uint64
-	out   []uint64
+	vals  []W
+	state []W
+	out   []W
 
 	inj      []int32 // per instruction: index into recs, or -1
-	recs     []injRec
-	touched  []int32   // instruction indices with inj set, for O(batch) clearing
-	loadInj  []slotInj // stem faults on PIs, FFs and constants
-	clockInj []ffInj   // DFF D-pin faults, applied at Clock
+	recs     []injRec[W]
+	touched  []int32      // instruction indices with inj set, for O(batch) clearing
+	loadInj  []slotInj[W] // stem faults on PIs, FFs and constants
+	clockInj []ffInj[W]   // DFF D-pin faults, applied at Clock
 	faulty   bool
 }
 
-// NewMachine creates fresh execution state in power-on reset, with no
-// faults injected.
-func (p *Program) NewMachine() *Machine {
-	m := &Machine{
+// NewMachine creates fresh execution state at lane width W in power-on
+// reset, with no faults injected. NewMachine[lane.W1] reproduces the
+// original single-word machine bit for bit.
+func NewMachine[W lane.Word](p *Program) *Machine[W] {
+	m := &Machine[W]{
 		p:     p,
-		vals:  make([]uint64, len(p.nl.Gates)),
-		state: make([]uint64, len(p.nl.FFs)),
-		out:   make([]uint64, len(p.nl.POs)),
+		vals:  make([]W, len(p.nl.Gates)),
+		state: make([]W, len(p.nl.FFs)),
+		out:   make([]W, len(p.nl.POs)),
 		inj:   make([]int32, len(p.code)),
 	}
 	for i := range m.inj {
@@ -239,25 +257,27 @@ func (p *Program) NewMachine() *Machine {
 }
 
 // Program returns the compiled program this machine executes.
-func (m *Machine) Program() *Program { return m.p }
+func (m *Machine[W]) Program() *Program { return m.p }
 
-// Reset restores every flip-flop to its power-on value in all 64 lanes.
+// Reset restores every flip-flop to its power-on value in all lanes.
 // Injected faults survive a Reset; use ClearFaults to remove them.
-func (m *Machine) Reset() {
-	copy(m.state, m.p.ffInit)
+func (m *Machine[W]) Reset() {
+	for i, w := range m.p.ffInit {
+		m.state[i] = lane.Broadcast[W](w)
+	}
 }
 
-// SetState overwrites the flip-flop state words directly.
-func (m *Machine) SetState(s []uint64) {
+// SetState overwrites the flip-flop state vectors directly.
+func (m *Machine[W]) SetState(s []W) {
 	if len(s) != len(m.state) {
-		panic(fmt.Sprintf("netlist: SetState with %d words for %d FFs", len(s), len(m.state)))
+		panic(fmt.Sprintf("netlist: SetState with %d vectors for %d FFs", len(s), len(m.state)))
 	}
 	copy(m.state, s)
 }
 
-// State returns a copy of the flip-flop state words.
-func (m *Machine) State() []uint64 {
-	out := make([]uint64, len(m.state))
+// State returns a copy of the flip-flop state vectors.
+func (m *Machine[W]) State() []W {
+	out := make([]W, len(m.state))
 	copy(out, m.state)
 	return out
 }
@@ -267,11 +287,11 @@ func (m *Machine) State() []uint64 {
 // into disjoint lanes evaluate as independent fault machines in one pass.
 // Sites that cannot influence anything (NoFault, out-of-range pins, pin
 // faults on gates without pins) are ignored, matching Evaluator.EvalWith.
-func (m *Machine) InjectFault(f FaultSite, laneMask uint64) {
-	if f.Gate < 0 || laneMask == 0 {
+func (m *Machine[W]) InjectFault(f FaultSite, laneMask W) {
+	if f.Gate < 0 || lane.None(laneMask) {
 		return
 	}
-	val := uint64(0)
+	var val W
 	if f.Stuck == 1 {
 		val = laneMask
 	}
@@ -279,8 +299,9 @@ func (m *Machine) InjectFault(f FaultSite, laneMask uint64) {
 	switch {
 	case f.Pin < 0 && g.Type.IsComb():
 		r := m.rec(m.p.codeOf[f.Gate])
-		r.outMask |= laneMask
-		r.outVal = r.outVal&^laneMask | val
+		r.outMask = lane.Or(r.outMask, laneMask)
+		r.outVal = lane.Merge(r.outVal, laneMask, val)
+		r.markDirty(laneMask)
 	case f.Pin < 0:
 		m.mergeLoadInj(int32(f.Gate), laneMask, val)
 	case g.Type == DFF && f.Pin == 0:
@@ -288,15 +309,24 @@ func (m *Machine) InjectFault(f FaultSite, laneMask uint64) {
 	case g.Type.IsComb() && f.Pin < len(g.Fanin):
 		r := m.rec(m.p.codeOf[f.Gate])
 		r.mergePin(int32(f.Pin), laneMask, val)
+		r.markDirty(laneMask)
 	default:
 		return // inert site: keep the fault-free fast path
 	}
 	m.faulty = true
 }
 
+func (r *injRec[W]) markDirty(laneMask W) {
+	for k := 0; k < len(laneMask); k++ {
+		if laneMask[k] != 0 {
+			r.dirty |= 1 << uint(k)
+		}
+	}
+}
+
 // ClearFaults removes every injected fault, restoring the fault-free fast
 // path. Cost is proportional to the batch size, not the circuit size.
-func (m *Machine) ClearFaults() {
+func (m *Machine[W]) ClearFaults() {
 	for _, ci := range m.touched {
 		m.inj[ci] = -1
 	}
@@ -307,57 +337,57 @@ func (m *Machine) ClearFaults() {
 	m.faulty = false
 }
 
-func (m *Machine) rec(codeIdx int32) *injRec {
+func (m *Machine[W]) rec(codeIdx int32) *injRec[W] {
 	if m.inj[codeIdx] < 0 {
 		m.inj[codeIdx] = int32(len(m.recs))
-		m.recs = append(m.recs, injRec{})
+		m.recs = append(m.recs, injRec[W]{})
 		m.touched = append(m.touched, codeIdx)
 	}
 	return &m.recs[m.inj[codeIdx]]
 }
 
-func (r *injRec) mergePin(pin int32, mask, val uint64) {
+func (r *injRec[W]) mergePin(pin int32, mask, val W) {
 	for i := range r.pins {
 		if r.pins[i].pin == pin {
-			r.pins[i].mask |= mask
-			r.pins[i].val = r.pins[i].val&^mask | val
+			r.pins[i].mask = lane.Or(r.pins[i].mask, mask)
+			r.pins[i].val = lane.Merge(r.pins[i].val, mask, val)
 			return
 		}
 	}
-	r.pins = append(r.pins, pinInj{pin: pin, mask: mask, val: val})
+	r.pins = append(r.pins, pinInj[W]{pin: pin, mask: mask, val: val})
 }
 
-func (m *Machine) mergeLoadInj(slot int32, mask, val uint64) {
+func (m *Machine[W]) mergeLoadInj(slot int32, mask, val W) {
 	for i := range m.loadInj {
 		if m.loadInj[i].slot == slot {
-			m.loadInj[i].mask |= mask
-			m.loadInj[i].val = m.loadInj[i].val&^mask | val
+			m.loadInj[i].mask = lane.Or(m.loadInj[i].mask, mask)
+			m.loadInj[i].val = lane.Merge(m.loadInj[i].val, mask, val)
 			return
 		}
 	}
-	m.loadInj = append(m.loadInj, slotInj{slot: slot, mask: mask, val: val})
+	m.loadInj = append(m.loadInj, slotInj[W]{slot: slot, mask: mask, val: val})
 }
 
-func (m *Machine) mergeClockInj(ff int32, mask, val uint64) {
+func (m *Machine[W]) mergeClockInj(ff int32, mask, val W) {
 	for i := range m.clockInj {
 		if m.clockInj[i].ff == ff {
-			m.clockInj[i].mask |= mask
-			m.clockInj[i].val = m.clockInj[i].val&^mask | val
+			m.clockInj[i].mask = lane.Or(m.clockInj[i].mask, mask)
+			m.clockInj[i].val = lane.Merge(m.clockInj[i].val, mask, val)
 			return
 		}
 	}
-	m.clockInj = append(m.clockInj, ffInj{ff: ff, mask: mask, val: val})
+	m.clockInj = append(m.clockInj, ffInj[W]{ff: ff, mask: mask, val: val})
 }
 
-// Eval runs one combinational pass with the given PI words (ordered like
-// the netlist's PIs) under the machine's current fault batch and returns
-// the PO words. The result slice is reused by the next Eval call. It
-// panics when the PI count is wrong (the caller validates pattern shapes
-// once, not per pass).
-func (m *Machine) Eval(pis []uint64) []uint64 {
+// Eval runs one combinational pass with the given PI vectors (ordered
+// like the netlist's PIs) under the machine's current fault batch and
+// returns the PO vectors. The result slice is reused by the next Eval
+// call. It panics when the PI count is wrong (the caller validates
+// pattern shapes once, not per pass).
+func (m *Machine[W]) Eval(pis []W) []W {
 	nl := m.p.nl
 	if len(pis) != len(nl.PIs) {
-		panic(fmt.Sprintf("netlist: %d PI words for %d inputs", len(pis), len(nl.PIs)))
+		panic(fmt.Sprintf("netlist: %d PI vectors for %d inputs", len(pis), len(nl.PIs)))
 	}
 	vals := m.vals
 	for i, id := range nl.PIs {
@@ -367,12 +397,12 @@ func (m *Machine) Eval(pis []uint64) []uint64 {
 		vals[id] = m.state[i]
 	}
 	for _, c := range m.p.consts {
-		vals[c.slot] = c.word
+		vals[c.slot] = lane.Broadcast[W](c.word)
 	}
 	if m.faulty {
 		for i := range m.loadInj {
 			li := &m.loadInj[i]
-			vals[li.slot] = vals[li.slot]&^li.mask | li.val
+			vals[li.slot] = lane.Merge(vals[li.slot], li.mask, li.val)
 		}
 		m.execFaulty()
 	} else {
@@ -386,192 +416,306 @@ func (m *Machine) Eval(pis []uint64) []uint64 {
 
 // Clock latches each flip-flop's D value from the most recent Eval pass,
 // applying any injected D-pin faults to the captured state.
-func (m *Machine) Clock() {
+func (m *Machine[W]) Clock() {
 	for i, src := range m.p.ffSrc {
 		m.state[i] = m.vals[src]
 	}
 	for i := range m.clockInj {
 		ci := &m.clockInj[i]
-		m.state[ci.ff] = m.state[ci.ff]&^ci.mask | ci.val
+		m.state[ci.ff] = lane.Merge(m.state[ci.ff], ci.mask, ci.val)
 	}
 }
 
-// Value returns the last computed word on a gate's output.
-func (m *Machine) Value(id int) uint64 { return m.vals[id] }
+// Value returns the last computed vector on a gate's output.
+func (m *Machine[W]) Value(id int) W { return m.vals[id] }
 
-func (m *Machine) execClean() {
+func (m *Machine[W]) execClean() {
 	vals := m.vals
 	code := m.p.code
 	args := m.p.args
+	ones := lane.Broadcast[W](^uint64(0))
 	for i := range code {
 		in := &code[i]
-		var v uint64
+		var v W
 		switch in.op {
 		case gopBuf:
 			v = vals[in.a]
 		case gopNot:
-			v = ^vals[in.a]
+			a := vals[in.a]
+			for k := 0; k < len(v); k++ {
+				v[k] = ^a[k]
+			}
 		case gopAnd2:
-			v = vals[in.a] & vals[in.b]
+			a, b := vals[in.a], vals[in.b]
+			for k := 0; k < len(v); k++ {
+				v[k] = a[k] & b[k]
+			}
 		case gopNand2:
-			v = ^(vals[in.a] & vals[in.b])
+			a, b := vals[in.a], vals[in.b]
+			for k := 0; k < len(v); k++ {
+				v[k] = ^(a[k] & b[k])
+			}
 		case gopOr2:
-			v = vals[in.a] | vals[in.b]
+			a, b := vals[in.a], vals[in.b]
+			for k := 0; k < len(v); k++ {
+				v[k] = a[k] | b[k]
+			}
 		case gopNor2:
-			v = ^(vals[in.a] | vals[in.b])
+			a, b := vals[in.a], vals[in.b]
+			for k := 0; k < len(v); k++ {
+				v[k] = ^(a[k] | b[k])
+			}
 		case gopXor2:
-			v = vals[in.a] ^ vals[in.b]
+			a, b := vals[in.a], vals[in.b]
+			for k := 0; k < len(v); k++ {
+				v[k] = a[k] ^ b[k]
+			}
 		case gopXnor2:
-			v = ^(vals[in.a] ^ vals[in.b])
+			a, b := vals[in.a], vals[in.b]
+			for k := 0; k < len(v); k++ {
+				v[k] = ^(a[k] ^ b[k])
+			}
 		case gopAndN:
-			v = ^uint64(0)
+			v = ones
 			for _, s := range args[in.off : in.off+in.n] {
-				v &= vals[s]
+				sv := vals[s]
+				for k := 0; k < len(v); k++ {
+					v[k] &= sv[k]
+				}
 			}
 		case gopNandN:
-			v = ^uint64(0)
+			v = ones
 			for _, s := range args[in.off : in.off+in.n] {
-				v &= vals[s]
+				sv := vals[s]
+				for k := 0; k < len(v); k++ {
+					v[k] &= sv[k]
+				}
 			}
-			v = ^v
+			for k := 0; k < len(v); k++ {
+				v[k] = ^v[k]
+			}
 		case gopOrN:
 			for _, s := range args[in.off : in.off+in.n] {
-				v |= vals[s]
+				sv := vals[s]
+				for k := 0; k < len(v); k++ {
+					v[k] |= sv[k]
+				}
 			}
 		case gopNorN:
 			for _, s := range args[in.off : in.off+in.n] {
-				v |= vals[s]
+				sv := vals[s]
+				for k := 0; k < len(v); k++ {
+					v[k] |= sv[k]
+				}
 			}
-			v = ^v
+			for k := 0; k < len(v); k++ {
+				v[k] = ^v[k]
+			}
 		case gopXorN:
 			for _, s := range args[in.off : in.off+in.n] {
-				v ^= vals[s]
+				sv := vals[s]
+				for k := 0; k < len(v); k++ {
+					v[k] ^= sv[k]
+				}
 			}
 		case gopXnorN:
 			for _, s := range args[in.off : in.off+in.n] {
-				v ^= vals[s]
+				sv := vals[s]
+				for k := 0; k < len(v); k++ {
+					v[k] ^= sv[k]
+				}
 			}
-			v = ^v
+			for k := 0; k < len(v); k++ {
+				v[k] = ^v[k]
+			}
 		}
 		vals[in.dst] = v
 	}
 }
 
-// execFaulty is execClean plus a per-instruction injection check; gates
-// with an injection record re-evaluate through the generic masked path.
-func (m *Machine) execFaulty() {
+// execFaulty is execClean plus a per-instruction injection check: every
+// gate takes the fast path first, then gates with an injection record
+// re-evaluate their dirty words through the scalar masked path.
+func (m *Machine[W]) execFaulty() {
 	vals := m.vals
 	code := m.p.code
 	args := m.p.args
 	inj := m.inj
+	ones := lane.Broadcast[W](^uint64(0))
 	for i := range code {
 		in := &code[i]
-		if ri := inj[i]; ri >= 0 {
-			vals[in.dst] = m.evalInjected(in, &m.recs[ri])
-			continue
-		}
-		var v uint64
+		var v W
 		switch in.op {
 		case gopBuf:
 			v = vals[in.a]
 		case gopNot:
-			v = ^vals[in.a]
+			a := vals[in.a]
+			for k := 0; k < len(v); k++ {
+				v[k] = ^a[k]
+			}
 		case gopAnd2:
-			v = vals[in.a] & vals[in.b]
+			a, b := vals[in.a], vals[in.b]
+			for k := 0; k < len(v); k++ {
+				v[k] = a[k] & b[k]
+			}
 		case gopNand2:
-			v = ^(vals[in.a] & vals[in.b])
+			a, b := vals[in.a], vals[in.b]
+			for k := 0; k < len(v); k++ {
+				v[k] = ^(a[k] & b[k])
+			}
 		case gopOr2:
-			v = vals[in.a] | vals[in.b]
+			a, b := vals[in.a], vals[in.b]
+			for k := 0; k < len(v); k++ {
+				v[k] = a[k] | b[k]
+			}
 		case gopNor2:
-			v = ^(vals[in.a] | vals[in.b])
+			a, b := vals[in.a], vals[in.b]
+			for k := 0; k < len(v); k++ {
+				v[k] = ^(a[k] | b[k])
+			}
 		case gopXor2:
-			v = vals[in.a] ^ vals[in.b]
+			a, b := vals[in.a], vals[in.b]
+			for k := 0; k < len(v); k++ {
+				v[k] = a[k] ^ b[k]
+			}
 		case gopXnor2:
-			v = ^(vals[in.a] ^ vals[in.b])
+			a, b := vals[in.a], vals[in.b]
+			for k := 0; k < len(v); k++ {
+				v[k] = ^(a[k] ^ b[k])
+			}
 		case gopAndN:
-			v = ^uint64(0)
+			v = ones
 			for _, s := range args[in.off : in.off+in.n] {
-				v &= vals[s]
+				sv := vals[s]
+				for k := 0; k < len(v); k++ {
+					v[k] &= sv[k]
+				}
 			}
 		case gopNandN:
-			v = ^uint64(0)
+			v = ones
 			for _, s := range args[in.off : in.off+in.n] {
-				v &= vals[s]
+				sv := vals[s]
+				for k := 0; k < len(v); k++ {
+					v[k] &= sv[k]
+				}
 			}
-			v = ^v
+			for k := 0; k < len(v); k++ {
+				v[k] = ^v[k]
+			}
 		case gopOrN:
 			for _, s := range args[in.off : in.off+in.n] {
-				v |= vals[s]
+				sv := vals[s]
+				for k := 0; k < len(v); k++ {
+					v[k] |= sv[k]
+				}
 			}
 		case gopNorN:
 			for _, s := range args[in.off : in.off+in.n] {
-				v |= vals[s]
+				sv := vals[s]
+				for k := 0; k < len(v); k++ {
+					v[k] |= sv[k]
+				}
 			}
-			v = ^v
+			for k := 0; k < len(v); k++ {
+				v[k] = ^v[k]
+			}
 		case gopXorN:
 			for _, s := range args[in.off : in.off+in.n] {
-				v ^= vals[s]
+				sv := vals[s]
+				for k := 0; k < len(v); k++ {
+					v[k] ^= sv[k]
+				}
 			}
 		case gopXnorN:
 			for _, s := range args[in.off : in.off+in.n] {
-				v ^= vals[s]
+				sv := vals[s]
+				for k := 0; k < len(v); k++ {
+					v[k] ^= sv[k]
+				}
 			}
-			v = ^v
+			for k := 0; k < len(v); k++ {
+				v[k] = ^v[k]
+			}
 		}
 		vals[in.dst] = v
+		if ri := inj[i]; ri >= 0 {
+			m.patchInjected(in, &m.recs[ri])
+		}
 	}
 }
 
-// evalInjected evaluates one gate with the record's per-pin overrides,
-// then applies the output stem mask. Pin overrides only disturb their own
-// lanes, so every lane of the result stays an independent fault machine.
-func (m *Machine) evalInjected(in *ginstr, rec *injRec) uint64 {
+// patchInjected re-evaluates the dirty words of one injected gate with
+// the record's per-pin overrides applied, then applies the output stem
+// mask — single-word scalar work per fault-carrying word, leaving the
+// clean words on their fast-path result. Recomputing a whole dirty word
+// is safe because its unfaulted lanes re-derive the fast-path bits, and
+// pin overrides only disturb their own lanes, so every lane stays an
+// independent fault machine. This is what keeps the per-pass injection
+// cost proportional to the batch's fault count rather than fault count
+// times W.
+func (m *Machine[W]) patchInjected(in *ginstr, rec *injRec[W]) {
 	vals := m.vals
-	fanin := m.p.args[in.off : in.off+in.n]
-	read := func(j int) uint64 {
-		v := vals[fanin[j]]
-		for k := range rec.pins {
-			if int(rec.pins[k].pin) == j {
-				v = v&^rec.pins[k].mask | rec.pins[k].val
+	if len(rec.pins) == 0 {
+		// Stem-only record (the common case — most collapsed faults are
+		// output stuck-ats): the fast-path value is already correct in
+		// every unfaulted lane, so the patch is a masked overwrite.
+		for k, dirty := 0, rec.dirty; dirty != 0; k, dirty = k+1, dirty>>1 {
+			if dirty&1 == 1 {
+				vals[in.dst][k] = vals[in.dst][k]&^rec.outMask[k] | rec.outVal[k]
 			}
 		}
-		return v
+		return
 	}
-	var v uint64
-	switch in.op {
-	case gopBuf:
-		v = read(0)
-	case gopNot:
-		v = ^read(0)
-	case gopAnd2, gopAndN:
-		v = ^uint64(0)
-		for j := range fanin {
-			v &= read(j)
+	fanin := m.p.args[in.off : in.off+in.n]
+	for k, dirty := 0, rec.dirty; dirty != 0; k, dirty = k+1, dirty>>1 {
+		if dirty&1 == 0 {
+			continue
 		}
-	case gopNand2, gopNandN:
-		v = ^uint64(0)
-		for j := range fanin {
-			v &= read(j)
+		read := func(j int) uint64 {
+			v := vals[fanin[j]][k]
+			for pi := range rec.pins {
+				if int(rec.pins[pi].pin) == j {
+					v = v&^rec.pins[pi].mask[k] | rec.pins[pi].val[k]
+				}
+			}
+			return v
 		}
-		v = ^v
-	case gopOr2, gopOrN:
-		for j := range fanin {
-			v |= read(j)
+		var v uint64
+		switch in.op {
+		case gopBuf:
+			v = read(0)
+		case gopNot:
+			v = ^read(0)
+		case gopAnd2, gopAndN:
+			v = ^uint64(0)
+			for j := range fanin {
+				v &= read(j)
+			}
+		case gopNand2, gopNandN:
+			v = ^uint64(0)
+			for j := range fanin {
+				v &= read(j)
+			}
+			v = ^v
+		case gopOr2, gopOrN:
+			for j := range fanin {
+				v |= read(j)
+			}
+		case gopNor2, gopNorN:
+			for j := range fanin {
+				v |= read(j)
+			}
+			v = ^v
+		case gopXor2, gopXorN:
+			for j := range fanin {
+				v ^= read(j)
+			}
+		case gopXnor2, gopXnorN:
+			for j := range fanin {
+				v ^= read(j)
+			}
+			v = ^v
 		}
-	case gopNor2, gopNorN:
-		for j := range fanin {
-			v |= read(j)
-		}
-		v = ^v
-	case gopXor2, gopXorN:
-		for j := range fanin {
-			v ^= read(j)
-		}
-	case gopXnor2, gopXnorN:
-		for j := range fanin {
-			v ^= read(j)
-		}
-		v = ^v
+		vals[in.dst][k] = v&^rec.outMask[k] | rec.outVal[k]
 	}
-	return v&^rec.outMask | rec.outVal
 }

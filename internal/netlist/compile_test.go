@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+
+	"repro/internal/lane"
 )
 
 // randomNetlist builds a random levelizable netlist with nPIs inputs,
@@ -79,6 +81,15 @@ func randWords(rng *rand.Rand, n int) []uint64 {
 	return out
 }
 
+// w1 lifts single-word PI values into W=1 lane vectors.
+func w1(words []uint64) []lane.W1 {
+	out := make([]lane.W1, len(words))
+	for i, w := range words {
+		out[i] = lane.W1{w}
+	}
+	return out
+}
+
 // TestMachineMatchesEvaluatorFaultFree pins the compiled fast path
 // against the Evaluator over multiple clocked cycles of random stimuli.
 func TestMachineMatchesEvaluatorFaultFree(t *testing.T) {
@@ -92,7 +103,7 @@ func TestMachineMatchesEvaluatorFaultFree(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		m := prog.NewMachine()
+		m := NewMachine[lane.W1](prog)
 		rng := rand.New(rand.NewSource(seed + 100))
 		for cyc := 0; cyc < 8; cyc++ {
 			pis := randWords(rng, len(nl.PIs))
@@ -100,17 +111,17 @@ func TestMachineMatchesEvaluatorFaultFree(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			got := m.Eval(pis)
+			got := m.Eval(w1(pis))
 			for po := range want {
-				if got[po] != want[po] {
-					t.Fatalf("seed %d cyc %d PO %d: machine %x, evaluator %x", seed, cyc, po, got[po], want[po])
+				if got[po][0] != want[po] {
+					t.Fatalf("seed %d cyc %d PO %d: machine %x, evaluator %x", seed, cyc, po, got[po][0], want[po])
 				}
 			}
 			ev.Clock()
 			m.Clock()
 			for i, s := range ev.State() {
-				if m.State()[i] != s {
-					t.Fatalf("seed %d cyc %d FF %d: state %x, evaluator %x", seed, cyc, i, m.State()[i], s)
+				if m.State()[i][0] != s {
+					t.Fatalf("seed %d cyc %d FF %d: state %x, evaluator %x", seed, cyc, i, m.State()[i][0], s)
 				}
 			}
 		}
@@ -131,7 +142,7 @@ func TestMachineMatchesEvaluatorSingleFault(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		m := prog.NewMachine()
+		m := NewMachine[lane.W1](prog)
 		rng := rand.New(rand.NewSource(seed + 500))
 		for _, site := range allSites(nl) {
 			mask := rng.Uint64()
@@ -141,15 +152,15 @@ func TestMachineMatchesEvaluatorSingleFault(t *testing.T) {
 			}
 			ev.Reset()
 			m.ClearFaults()
-			m.InjectFault(site, mask)
+			m.InjectFault(site, lane.W1{mask})
 			m.Reset()
 			for cyc, pis := range stim {
 				want := ev.EvalWith(pis, site, mask)
-				got := m.Eval(pis)
+				got := m.Eval(w1(pis))
 				for po := range want {
-					if got[po] != want[po] {
+					if got[po][0] != want[po] {
 						t.Fatalf("seed %d site %+v mask %x cyc %d PO %d: machine %x, evaluator %x",
-							seed, site, mask, cyc, po, got[po], want[po])
+							seed, site, mask, cyc, po, got[po][0], want[po])
 					}
 				}
 				ev.ClockWith(site, mask)
@@ -159,24 +170,29 @@ func TestMachineMatchesEvaluatorSingleFault(t *testing.T) {
 	}
 }
 
-// TestMachineMultiFaultLanes is the parallel-fault guarantee: 64 distinct
-// faults injected one per lane evolve as 64 independent fault machines.
-// Each lane must match a dedicated single-fault Evaluator run.
-func TestMachineMultiFaultLanes(t *testing.T) {
-	for seed := int64(0); seed < 5; seed++ {
-		nl := randomNetlist(t, seed+50, 4, 4, 20)
+// machineMultiFaultLanes is the parallel-fault guarantee at width W: up
+// to W×64 distinct faults injected one per lane evolve as independent
+// fault machines. Each lane must match a dedicated single-fault Evaluator
+// run.
+func machineMultiFaultLanes[W lane.Word](t *testing.T, seedBase int64) {
+	t.Helper()
+	L := lane.Count[W]()
+	for seed := seedBase; seed < seedBase+5; seed++ {
+		// Bigger clouds for wider machines, so wide batches actually fill
+		// lanes beyond the first word.
+		nl := randomNetlist(t, seed+50, 4, 4, 20+L/4)
 		prog, err := Compile(nl)
 		if err != nil {
 			t.Fatal(err)
 		}
 		sites := allSites(nl)
 		batch := sites
-		if len(batch) > 64 {
-			batch = batch[:64]
+		if len(batch) > L {
+			batch = batch[:L]
 		}
-		m := prog.NewMachine()
-		for lane, site := range batch {
-			m.InjectFault(site, 1<<uint(lane))
+		m := NewMachine[W](prog)
+		for ln, site := range batch {
+			m.InjectFault(site, lane.Bit[W](ln))
 		}
 		m.Reset()
 		rng := rand.New(rand.NewSource(seed + 900))
@@ -190,29 +206,97 @@ func TestMachineMultiFaultLanes(t *testing.T) {
 				}
 			}
 		}
-		got := make([][]uint64, len(stim))
+		got := make([][]W, len(stim))
 		for cyc, pis := range stim {
-			got[cyc] = append([]uint64(nil), m.Eval(pis)...)
+			wide := make([]W, len(pis))
+			for i, w := range pis {
+				wide[i] = lane.Broadcast[W](w)
+			}
+			got[cyc] = append([]W(nil), m.Eval(wide)...)
 			m.Clock()
 		}
 		ev, err := NewEvaluator(nl)
 		if err != nil {
 			t.Fatal(err)
 		}
-		for lane, site := range batch {
+		for ln, site := range batch {
 			ev.Reset()
 			for cyc, pis := range stim {
 				want := ev.EvalWith(pis, site, ^uint64(0))
 				for po := range want {
 					wbit := want[po] >> 0 & 1
-					gbit := got[cyc][po] >> uint(lane) & 1
+					gbit := got[cyc][po][ln>>6] >> uint(ln&63) & 1
 					if gbit != wbit {
-						t.Fatalf("seed %d lane %d site %+v cyc %d PO %d: lane bit %d, reference %d",
-							seed, lane, site, cyc, po, gbit, wbit)
+						t.Fatalf("W=%d seed %d lane %d site %+v cyc %d PO %d: lane bit %d, reference %d",
+							L/64, seed, ln, site, cyc, po, gbit, wbit)
 					}
 				}
 				ev.ClockWith(site, ^uint64(0))
 			}
+		}
+	}
+}
+
+// TestMachineMultiFaultLanes pins the per-lane independence at every
+// supported width against the Evaluator.
+func TestMachineMultiFaultLanes(t *testing.T) {
+	t.Run("W=1", func(t *testing.T) { machineMultiFaultLanes[lane.W1](t, 0) })
+	t.Run("W=4", func(t *testing.T) { machineMultiFaultLanes[lane.W4](t, 10) })
+	t.Run("W=8", func(t *testing.T) { machineMultiFaultLanes[lane.W8](t, 20) })
+}
+
+// TestMachineWidthAgreement runs identical fault batches on all three
+// widths (faults confined to the first 64 lanes) and demands bit-identical
+// first-word trajectories — the W=1 machine is the pinned reference, so
+// this transitively pins W=4/8 against the Evaluator too.
+func TestMachineWidthAgreement(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		nl := randomNetlist(t, seed+300, 5, 3, 30)
+		prog, err := Compile(nl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m1 := NewMachine[lane.W1](prog)
+		m4 := NewMachine[lane.W4](prog)
+		m8 := NewMachine[lane.W8](prog)
+		sites := allSites(nl)
+		if len(sites) > 64 {
+			sites = sites[:64]
+		}
+		for ln, site := range sites {
+			m1.InjectFault(site, lane.Bit[lane.W1](ln))
+			m4.InjectFault(site, lane.Bit[lane.W4](ln))
+			m8.InjectFault(site, lane.Bit[lane.W8](ln))
+		}
+		m1.Reset()
+		m4.Reset()
+		m8.Reset()
+		rng := rand.New(rand.NewSource(seed + 77))
+		for cyc := 0; cyc < 8; cyc++ {
+			word := make([]uint64, len(nl.PIs))
+			for i := range word {
+				if rng.Intn(2) == 1 {
+					word[i] = ^uint64(0)
+				}
+			}
+			pis4 := make([]lane.W4, len(word))
+			pis8 := make([]lane.W8, len(word))
+			for i, w := range word {
+				pis4[i] = lane.Broadcast[lane.W4](w)
+				pis8[i] = lane.Broadcast[lane.W8](w)
+			}
+			o1 := m1.Eval(w1(word))
+			o4 := m4.Eval(pis4)
+			o8 := m8.Eval(pis8)
+			for po := range o1 {
+				if o4[po][0] != o1[po][0] || o8[po][0] != o1[po][0] {
+					t.Fatalf("seed %d cyc %d PO %d: W1 %x, W4 %x, W8 %x",
+						seed, cyc, po, o1[po][0], o4[po][0], o8[po][0])
+				}
+			}
+			m1.Clock()
+			m4.Clock()
+			m8.Clock()
 		}
 	}
 }
@@ -229,9 +313,9 @@ func TestMachineClearFaults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := prog.NewMachine()
-	for lane, site := range allSites(nl) {
-		m.InjectFault(site, 1<<uint(lane%64))
+	m := NewMachine[lane.W4](prog)
+	for ln, site := range allSites(nl) {
+		m.InjectFault(site, lane.Bit[lane.W4](ln%256))
 	}
 	m.ClearFaults()
 	m.Reset()
@@ -242,10 +326,16 @@ func TestMachineClearFaults(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got := m.Eval(pis)
+		wide := make([]lane.W4, len(pis))
+		for i, w := range pis {
+			wide[i] = lane.Broadcast[lane.W4](w)
+		}
+		got := m.Eval(wide)
 		for po := range want {
-			if got[po] != want[po] {
-				t.Fatalf("cyc %d PO %d: cleared machine %x, evaluator %x", cyc, po, got[po], want[po])
+			for k := 0; k < 4; k++ {
+				if got[po][k] != want[po] {
+					t.Fatalf("cyc %d PO %d word %d: cleared machine %x, evaluator %x", cyc, po, k, got[po][k], want[po])
+				}
 			}
 		}
 		ev.Clock()
@@ -260,11 +350,11 @@ func TestMachinePIWordCountPanics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := prog.NewMachine()
+	m := NewMachine[lane.W1](prog)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("short PI slice did not panic")
 		}
 	}()
-	m.Eval([]uint64{1})
+	m.Eval([]lane.W1{{1}})
 }

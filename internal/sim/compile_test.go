@@ -183,18 +183,24 @@ func TestFirstKillBatchDeterministic(t *testing.T) {
 	}
 	var ref []int
 	for _, workers := range []int{1, 2, 7, 0} {
-		got, err := sim.FirstKillBatch(progs, seq, goodOuts, workers)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if ref == nil {
-			ref = got
-			continue
-		}
-		for i := range got {
-			if got[i] != ref[i] {
-				t.Fatalf("workers=%d: mutant %d first-kill %d, want %d", workers, i, got[i], ref[i])
+		for _, laneWords := range []int{0, 1, 4, 8} {
+			got, err := sim.FirstKillBatch(progs, seq, goodOuts, workers, laneWords)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref == nil {
+				ref = got
+				continue
+			}
+			for i := range got {
+				if got[i] != ref[i] {
+					t.Fatalf("workers=%d lanewords=%d: mutant %d first-kill %d, want %d",
+						workers, laneWords, i, got[i], ref[i])
+				}
 			}
 		}
+	}
+	if _, err := sim.FirstKillBatch(progs, seq, goodOuts, 0, 3); err == nil {
+		t.Error("unsupported lane width accepted")
 	}
 }

@@ -1,15 +1,21 @@
 // Mutant-parallel batch execution. Scoring a mutant population is
 // embarrassingly parallel — every mutant runs the same stimulus against
-// the same reference trace — so the pool fans circuits out over a fixed
-// worker count with per-worker machine state and drops each mutant at its
-// first divergence (early kill). Results are written by index, so the
-// outcome is deterministic and independent of the worker count.
+// the same reference trace — so the pool packs mutants into lane batches
+// of laneWords×64 machines, fans the batches out over a fixed worker
+// count, and steps each batch through the sequence in lockstep: the
+// reference output row stays hot across the whole batch, each mutant
+// drops at its first divergence (early kill), and a batch exits as soon
+// as every lane has dropped. Results are written by index, so the outcome
+// is deterministic and independent of both the worker count and the lane
+// width.
 package sim
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/hdl"
+	"repro/internal/lane"
 	"repro/internal/par"
 )
 
@@ -53,15 +59,26 @@ func CompileBatch(cs []*hdl.Circuit, workers int) ([]*Program, error) {
 // FirstKillBatch runs every program against the sequence and returns, per
 // program, the first cycle whose outputs differ from goodOuts (the
 // reference circuit's trace over the same sequence), or -1 if the
-// sequence never distinguishes it. A program stops simulating at its
-// first divergence.
-func FirstKillBatch(progs []*Program, seq Sequence, goodOuts []Vector, workers int) ([]int, error) {
+// sequence never distinguishes it. Programs are packed laneWords×64 per
+// batch (0 selects lane.DefaultWords) and each batch is one pool job,
+// stepped in lockstep with early per-mutant dropping and early batch
+// exit. A program that fails mid-sequence reports its error and drops;
+// the rest of its batch keeps scoring.
+func FirstKillBatch(progs []*Program, seq Sequence, goodOuts []Vector, workers, laneWords int) ([]int, error) {
+	words, err := lane.Resolve(laneWords)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	L := words * 64
 	out := make([]int, len(progs))
 	errs := make([]error, len(progs))
-	workers = par.Workers(workers, len(progs))
+	nBatches := (len(progs) + L - 1) / L
+	workers = par.Workers(workers, nBatches)
 	scratch := make([]Vector, workers)
-	par.Indexed(len(progs), workers, func(w, i int) {
-		out[i], errs[i] = firstKillCompiled(progs[i], seq, goodOuts, &scratch[w])
+	par.Indexed(nBatches, workers, func(w, b int) {
+		lo := b * L
+		hi := min(lo+L, len(progs))
+		firstKillLockstep(progs[lo:hi], seq, goodOuts, out[lo:hi], errs[lo:hi], &scratch[w])
 	})
 	if err := firstBatchError(errs); err != nil {
 		return nil, err
@@ -69,24 +86,57 @@ func FirstKillBatch(progs []*Program, seq Sequence, goodOuts []Vector, workers i
 	return out, nil
 }
 
-// firstKillCompiled simulates one mutant program against the good trace,
-// reusing the worker's output scratch buffer across mutants.
-func firstKillCompiled(p *Program, seq Sequence, goodOuts []Vector, scratch *Vector) (int, error) {
-	m := p.NewMachine()
-	if cap(*scratch) < p.NumOutputs() {
-		*scratch = make(Vector, p.NumOutputs())
+// firstKillLockstep scores one lane batch: every machine advances one
+// cycle before any machine sees the next, so the reference row goodOuts
+// is read once per cycle for the whole batch. alive is a per-lane mask;
+// killed and failed lanes drop out of the stepping loop immediately, and
+// the batch returns once no lane is alive.
+func firstKillLockstep(batch []*Program, seq Sequence, goodOuts []Vector, out []int, errs []error, scratch *Vector) {
+	machines := make([]*Machine, len(batch))
+	maxOuts := 0
+	for j, p := range batch {
+		machines[j] = p.NewMachine()
+		out[j] = -1
+		maxOuts = max(maxOuts, p.NumOutputs())
 	}
-	got := (*scratch)[:p.NumOutputs()]
+	if cap(*scratch) < maxOuts {
+		*scratch = make(Vector, maxOuts)
+	}
+	alive := make([]uint64, (len(batch)+63)/64)
+	for j := range batch {
+		alive[j>>6] |= 1 << uint(j&63)
+	}
+	remaining := len(batch)
 	for cyc, v := range seq {
-		if err := m.StepInto(v, got); err != nil {
-			return -1, err
-		}
-		want := goodOuts[cyc]
-		for j := range got {
-			if !got[j].Equal(want[j]) {
-				return cyc, nil
+		for k := range alive {
+			rest := alive[k]
+			for rest != 0 {
+				bit := uint(bits.TrailingZeros64(rest))
+				rest &^= 1 << bit
+				j := k*64 + int(bit)
+				m := machines[j]
+				got := (*scratch)[:m.p.NumOutputs()]
+				if err := m.StepInto(v, got); err != nil {
+					errs[j] = err
+					alive[k] &^= 1 << bit
+					machines[j] = nil // release dropped state to the GC
+					remaining--
+					continue
+				}
+				want := goodOuts[cyc]
+				for o := range got {
+					if !got[o].Equal(want[o]) {
+						out[j] = cyc
+						alive[k] &^= 1 << bit
+						machines[j] = nil
+						remaining--
+						break
+					}
+				}
 			}
 		}
+		if remaining == 0 {
+			return
+		}
 	}
-	return -1, nil
 }

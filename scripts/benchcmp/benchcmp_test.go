@@ -1,0 +1,143 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const baseJSON = `[
+  {"name": "BenchmarkA", "iterations": 10, "ns_per_op": 1000, "date": "2026-01-01T00:00:00Z"},
+  {"name": "BenchmarkB", "iterations": 10, "ns_per_op": 2000, "faultcycles/s": 50000000, "bytes_per_op": 64, "date": "2026-01-01T00:00:00Z"},
+  {"name": "BenchmarkGone", "iterations": 1, "ns_per_op": 5, "date": "2026-01-01T00:00:00Z"}
+]`
+
+const curJSON = `[
+  {"name": "BenchmarkA-4", "iterations": 10, "ns_per_op": 1200, "date": "2026-02-01T00:00:00Z"},
+  {"name": "BenchmarkB", "iterations": 10, "ns_per_op": 1900, "faultcycles/s": 80000000, "bytes_per_op": 64, "date": "2026-02-01T00:00:00Z"},
+  {"name": "BenchmarkNew", "iterations": 1, "ns_per_op": 7, "date": "2026-02-01T00:00:00Z"}
+]`
+
+func parseBoth(t *testing.T) (base, cur map[string]entry) {
+	t.Helper()
+	base, err := parseSummary([]byte(baseJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err = parseSummary([]byte(curJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return base, cur
+}
+
+func TestParseSummary(t *testing.T) {
+	base, cur := parseBoth(t)
+	if len(base) != 3 {
+		t.Fatalf("parsed %d entries, want 3", len(base))
+	}
+	// Multi-core summaries carry a -GOMAXPROCS suffix; names normalize so
+	// they compare against single-core baselines.
+	if _, ok := cur["BenchmarkA"]; !ok {
+		t.Error("BenchmarkA-4 not normalized to BenchmarkA")
+	}
+	b := base["BenchmarkB"]
+	if b.NsPerOp != 2000 {
+		t.Errorf("BenchmarkB ns/op = %v", b.NsPerOp)
+	}
+	if b.Rates["faultcycles/s"] != 50000000 {
+		t.Errorf("BenchmarkB rate = %v", b.Rates["faultcycles/s"])
+	}
+	// bytes_per_op must not be mistaken for a rate.
+	if _, ok := b.Rates["bytes_per_op"]; ok {
+		t.Error("bytes_per_op misparsed as a rate")
+	}
+}
+
+func TestParseSummaryRejectsGarbage(t *testing.T) {
+	if _, err := parseSummary([]byte(`{"not": "an array"}`)); err == nil {
+		t.Error("non-array accepted")
+	}
+	if _, err := parseSummary([]byte(`[{"iterations": 3}]`)); err == nil {
+		t.Error("nameless row accepted")
+	}
+}
+
+func TestCompareFlagsRegressionsAndImprovements(t *testing.T) {
+	base, cur := parseBoth(t)
+	deltas := compare(base, cur, 0.10)
+	// Expected: A ns/op +20% (regression), B faultcycles/s +60%
+	// (improvement). B ns/op -5% is under threshold.
+	if len(deltas) != 2 {
+		t.Fatalf("got %d deltas: %v", len(deltas), deltas)
+	}
+	// Regressions sort first.
+	if d := deltas[0]; !d.Worse || d.Bench != "BenchmarkA" || d.Metric != "ns/op" {
+		t.Errorf("first delta = %+v, want BenchmarkA ns/op regression", d)
+	}
+	if d := deltas[1]; d.Worse || d.Bench != "BenchmarkB" || d.Metric != "faultcycles/s" {
+		t.Errorf("second delta = %+v, want BenchmarkB rate improvement", d)
+	}
+}
+
+func TestCompareDirectionality(t *testing.T) {
+	base := map[string]entry{
+		"Bench": {NsPerOp: 1000, Rates: map[string]float64{"x/s": 1000}},
+	}
+	// A rate DROP is a regression even as ns/op holds.
+	cur := map[string]entry{
+		"Bench": {NsPerOp: 1000, Rates: map[string]float64{"x/s": 500}},
+	}
+	deltas := compare(base, cur, 0.10)
+	if len(deltas) != 1 || !deltas[0].Worse {
+		t.Fatalf("rate drop not flagged as regression: %v", deltas)
+	}
+	// Exactly at the threshold: not flagged (strict inequality). The
+	// values are binary-exact so the ratio is too.
+	base = map[string]entry{"Bench": {NsPerOp: 1024}}
+	cur = map[string]entry{"Bench": {NsPerOp: 1152}}
+	if deltas := compare(base, cur, 0.125); len(deltas) != 0 {
+		t.Fatalf("exact-threshold change flagged: %v", deltas)
+	}
+}
+
+func TestMissing(t *testing.T) {
+	base, cur := parseBoth(t)
+	gone, added := missing(base, cur)
+	if len(gone) != 1 || gone[0] != "BenchmarkGone" {
+		t.Errorf("gone = %v", gone)
+	}
+	if len(added) != 1 || added[0] != "BenchmarkNew" {
+		t.Errorf("added = %v", added)
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "base.json")
+	curPath := filepath.Join(dir, "cur.json")
+	if err := os.WriteFile(basePath, []byte(baseJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(curPath, []byte(curJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	regressions, err := run(basePath, curPath, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressions != 1 {
+		t.Errorf("regressions = %d, want 1", regressions)
+	}
+	// A generous threshold reports a clean trajectory.
+	regressions, err = run(basePath, curPath, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressions != 0 {
+		t.Errorf("regressions at 50%% threshold = %d, want 0", regressions)
+	}
+	if _, err := run(filepath.Join(dir, "absent.json"), curPath, 0.1); err == nil {
+		t.Error("missing baseline accepted")
+	}
+}

@@ -1,0 +1,214 @@
+// Command benchcmp diffs two BENCH_<sha>.json summaries (the files
+// scripts/bench.sh records) and flags regressions, so the perf
+// trajectory of successive PRs is machine-checkable instead of
+// eyeballed.
+//
+// Usage:
+//
+//	go run ./scripts/benchcmp [-threshold 0.10] baseline.json current.json
+//
+// A benchmark regresses when its ns/op grows by more than the threshold,
+// or any of its throughput metrics (the "…/s" extras like faultcycles/s)
+// shrinks by more than the threshold. The exit status is 1 when anything
+// regressed — CI runs the comparison non-blocking (benchtime=1x smoke
+// numbers are noisy; the report is the artifact, not a gate).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// entry is one benchmark row of a BENCH json summary. Throughput extras
+// have dynamic keys, so rows decode into a raw map first.
+type entry struct {
+	NsPerOp float64
+	// Rates maps metric name ("faultcycles/s", …) to its value.
+	Rates map[string]float64
+}
+
+// delta is one flagged difference between two summaries.
+type delta struct {
+	Bench  string
+	Metric string  // "ns/op" or a rate name
+	Old    float64 // baseline value
+	New    float64 // current value
+	Change float64 // signed fraction: +0.25 = 25% more of the metric
+	Worse  bool
+}
+
+func (d delta) String() string {
+	dir := "improved"
+	if d.Worse {
+		dir = "REGRESSED"
+	}
+	return fmt.Sprintf("%-44s %-16s %14.6g -> %-14.6g %+6.1f%%  %s",
+		d.Bench, d.Metric, d.Old, d.New, 100*d.Change, dir)
+}
+
+// gomaxprocsSuffix matches the "-N" go test appends to benchmark names
+// when GOMAXPROCS != 1. Summaries recorded on machines with different
+// core counts must still compare by benchmark, so names are normalized
+// with the suffix stripped.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseSummary reads a bench.sh json array into per-benchmark entries.
+func parseSummary(data []byte) (map[string]entry, error) {
+	var rows []map[string]any
+	if err := json.Unmarshal(data, &rows); err != nil {
+		return nil, err
+	}
+	out := make(map[string]entry, len(rows))
+	for i, row := range rows {
+		name, _ := row["name"].(string)
+		if name == "" {
+			return nil, fmt.Errorf("row %d: missing benchmark name", i)
+		}
+		name = gomaxprocsSuffix.ReplaceAllString(name, "")
+		e := entry{Rates: make(map[string]float64)}
+		for k, v := range row {
+			f, isNum := v.(float64)
+			if !isNum {
+				continue
+			}
+			switch {
+			case k == "ns_per_op":
+				e.NsPerOp = f
+			case strings.HasSuffix(k, "/s"):
+				e.Rates[k] = f
+			}
+		}
+		out[name] = e
+	}
+	return out, nil
+}
+
+// compare flags every metric whose change exceeds the threshold, in both
+// directions, for benchmarks present in both summaries. Higher ns/op and
+// lower rates are regressions. The result is sorted: regressions first,
+// then by benchmark name.
+func compare(base, cur map[string]entry, threshold float64) []delta {
+	var out []delta
+	flag := func(bench, metric string, old, new float64, moreIsBetter bool) {
+		if old <= 0 || new <= 0 {
+			return
+		}
+		change := new/old - 1
+		if change >= -threshold && change <= threshold {
+			return // flag only changes strictly beyond the threshold
+		}
+		worse := change > 0
+		if moreIsBetter {
+			worse = change < 0
+		}
+		out = append(out, delta{Bench: bench, Metric: metric, Old: old, New: new, Change: change, Worse: worse})
+	}
+	for name, b := range base {
+		c, ok := cur[name]
+		if !ok {
+			continue
+		}
+		flag(name, "ns/op", b.NsPerOp, c.NsPerOp, false)
+		for rate, old := range b.Rates {
+			if now, ok := c.Rates[rate]; ok {
+				flag(name, rate, old, now, true)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Worse != out[j].Worse {
+			return out[i].Worse
+		}
+		if out[i].Bench != out[j].Bench {
+			return out[i].Bench < out[j].Bench
+		}
+		return out[i].Metric < out[j].Metric
+	})
+	return out
+}
+
+// missing lists benchmarks present in exactly one summary (renames and
+// deletions are trajectory events worth seeing, not errors).
+func missing(base, cur map[string]entry) (gone, added []string) {
+	for name := range base {
+		if _, ok := cur[name]; !ok {
+			gone = append(gone, name)
+		}
+	}
+	for name := range cur {
+		if _, ok := base[name]; !ok {
+			added = append(added, name)
+		}
+	}
+	sort.Strings(gone)
+	sort.Strings(added)
+	return gone, added
+}
+
+func run(baselinePath, currentPath string, threshold float64) (regressions int, err error) {
+	baseData, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return 0, err
+	}
+	curData, err := os.ReadFile(currentPath)
+	if err != nil {
+		return 0, err
+	}
+	base, err := parseSummary(baseData)
+	if err != nil {
+		return 0, fmt.Errorf("%s: %w", baselinePath, err)
+	}
+	cur, err := parseSummary(curData)
+	if err != nil {
+		return 0, fmt.Errorf("%s: %w", currentPath, err)
+	}
+	deltas := compare(base, cur, threshold)
+	for _, d := range deltas {
+		fmt.Println(d)
+		if d.Worse {
+			regressions++
+		}
+	}
+	gone, added := missing(base, cur)
+	for _, name := range gone {
+		fmt.Printf("%-44s only in baseline\n", name)
+	}
+	for _, name := range added {
+		fmt.Printf("%-44s new benchmark\n", name)
+	}
+	fmt.Printf("benchcmp: %d benchmarks compared, %d regressions, %d improvements (threshold %.0f%%)\n",
+		len(intersect(base, cur)), regressions, len(deltas)-regressions, 100*threshold)
+	return regressions, nil
+}
+
+func intersect(base, cur map[string]entry) []string {
+	var out []string
+	for name := range base {
+		if _, ok := cur[name]; ok {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 0.10, "relative change that counts as a regression")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcmp [-threshold F] baseline.json current.json")
+		os.Exit(2)
+	}
+	regressions, err := run(flag.Arg(0), flag.Arg(1), *threshold)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
+		os.Exit(2)
+	}
+	if regressions > 0 {
+		os.Exit(1)
+	}
+}
