@@ -430,6 +430,12 @@ func (m *Machine[W]) Clock() {
 func (m *Machine[W]) Value(id int) W { return m.vals[id] }
 
 func (m *Machine[W]) execClean() {
+	var w W
+	if len(w) == 1 {
+		// Shape-constant dispatch: the branch folds per instantiation.
+		m.execClean1()
+		return
+	}
 	vals := m.vals
 	code := m.p.code
 	args := m.p.args
@@ -537,6 +543,11 @@ func (m *Machine[W]) execClean() {
 // gate takes the fast path first, then gates with an injection record
 // re-evaluate their dirty words through the scalar masked path.
 func (m *Machine[W]) execFaulty() {
+	var w W
+	if len(w) == 1 {
+		m.execFaulty1()
+		return
+	}
 	vals := m.vals
 	code := m.p.code
 	args := m.p.args
@@ -717,5 +728,133 @@ func (m *Machine[W]) patchInjected(in *ginstr, rec *injRec[W]) {
 			v = ^v
 		}
 		vals[in.dst][k] = v&^rec.outMask[k] | rec.outVal[k]
+	}
+}
+
+// execClean1 and execFaulty1 are the scalar specializations for the
+// single-word instantiation (W = [1]uint64): array-of-one locals keep
+// values in memory form and defeat the register allocator, so W=1 —
+// the combinational production width and the ragged-tail machine — runs
+// the original uint64 loop on word 0. The generic loops above serve
+// W=4/8, and the width-agreement and parity tests pin all paths
+// bit-identical. The [0] accessors are valid for every W; the callers'
+// shape-constant dispatch makes them reachable only when len(W) == 1.
+func (m *Machine[W]) execClean1() {
+	vals := m.vals
+	code := m.p.code
+	args := m.p.args
+	for i := range code {
+		in := &code[i]
+		var v uint64
+		switch in.op {
+		case gopBuf:
+			v = vals[in.a][0]
+		case gopNot:
+			v = ^vals[in.a][0]
+		case gopAnd2:
+			v = vals[in.a][0] & vals[in.b][0]
+		case gopNand2:
+			v = ^(vals[in.a][0] & vals[in.b][0])
+		case gopOr2:
+			v = vals[in.a][0] | vals[in.b][0]
+		case gopNor2:
+			v = ^(vals[in.a][0] | vals[in.b][0])
+		case gopXor2:
+			v = vals[in.a][0] ^ vals[in.b][0]
+		case gopXnor2:
+			v = ^(vals[in.a][0] ^ vals[in.b][0])
+		case gopAndN:
+			v = ^uint64(0)
+			for _, s := range args[in.off : in.off+in.n] {
+				v &= vals[s][0]
+			}
+		case gopNandN:
+			v = ^uint64(0)
+			for _, s := range args[in.off : in.off+in.n] {
+				v &= vals[s][0]
+			}
+			v = ^v
+		case gopOrN:
+			for _, s := range args[in.off : in.off+in.n] {
+				v |= vals[s][0]
+			}
+		case gopNorN:
+			for _, s := range args[in.off : in.off+in.n] {
+				v |= vals[s][0]
+			}
+			v = ^v
+		case gopXorN:
+			for _, s := range args[in.off : in.off+in.n] {
+				v ^= vals[s][0]
+			}
+		case gopXnorN:
+			for _, s := range args[in.off : in.off+in.n] {
+				v ^= vals[s][0]
+			}
+			v = ^v
+		}
+		vals[in.dst][0] = v
+	}
+}
+
+func (m *Machine[W]) execFaulty1() {
+	vals := m.vals
+	code := m.p.code
+	args := m.p.args
+	inj := m.inj
+	for i := range code {
+		in := &code[i]
+		var v uint64
+		switch in.op {
+		case gopBuf:
+			v = vals[in.a][0]
+		case gopNot:
+			v = ^vals[in.a][0]
+		case gopAnd2:
+			v = vals[in.a][0] & vals[in.b][0]
+		case gopNand2:
+			v = ^(vals[in.a][0] & vals[in.b][0])
+		case gopOr2:
+			v = vals[in.a][0] | vals[in.b][0]
+		case gopNor2:
+			v = ^(vals[in.a][0] | vals[in.b][0])
+		case gopXor2:
+			v = vals[in.a][0] ^ vals[in.b][0]
+		case gopXnor2:
+			v = ^(vals[in.a][0] ^ vals[in.b][0])
+		case gopAndN:
+			v = ^uint64(0)
+			for _, s := range args[in.off : in.off+in.n] {
+				v &= vals[s][0]
+			}
+		case gopNandN:
+			v = ^uint64(0)
+			for _, s := range args[in.off : in.off+in.n] {
+				v &= vals[s][0]
+			}
+			v = ^v
+		case gopOrN:
+			for _, s := range args[in.off : in.off+in.n] {
+				v |= vals[s][0]
+			}
+		case gopNorN:
+			for _, s := range args[in.off : in.off+in.n] {
+				v |= vals[s][0]
+			}
+			v = ^v
+		case gopXorN:
+			for _, s := range args[in.off : in.off+in.n] {
+				v ^= vals[s][0]
+			}
+		case gopXnorN:
+			for _, s := range args[in.off : in.off+in.n] {
+				v ^= vals[s][0]
+			}
+			v = ^v
+		}
+		vals[in.dst][0] = v
+		if ri := inj[i]; ri >= 0 {
+			m.patchInjected(in, &m.recs[ri])
+		}
 	}
 }
