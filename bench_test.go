@@ -19,7 +19,9 @@ import (
 	"repro/internal/atpg"
 	"repro/internal/circuits"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/faultsim"
+	"repro/internal/hdl"
 	"repro/internal/lane"
 	"repro/internal/mutation"
 	"repro/internal/mutscore"
@@ -176,6 +178,90 @@ func BenchmarkTGDisciplines(b *testing.B) {
 		}
 		printRows("tgmodes/b01", out)
 	}
+}
+
+// --- TG: session-based generation vs the one-shot API (b03) -------------------
+
+// tgBenchFixture draws the deterministic 120-mutant b03 sample both TG
+// benchmarks generate against, plus the synthesized netlist for
+// round-by-round fault coverage.
+func tgBenchFixture(b *testing.B) (*hdl.Circuit, []*mutation.Mutant, *netlist.Netlist) {
+	b.Helper()
+	c := circuits.MustLoad("b03")
+	sample := sampling.Random(mutation.Generate(c), 120, 9)
+	nl, err := synth.Synthesize(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c, sample, nl
+}
+
+// BenchmarkMutationTests is the session-based TG path (b03): the target
+// sample is compiled once into a tpg.Session with an attached
+// incremental fault simulator, and every iteration runs a full
+// generation campaign whose round-by-round fault coverage is maintained
+// by Append — no accepted prefix is ever re-simulated and nothing is
+// recompiled between campaigns.
+func BenchmarkMutationTests(b *testing.B) {
+	c, sample, nl := tgBenchFixture(b)
+	s, err := tpg.NewSession(c, sample, &tpg.Options{Seed: 11})
+	if err != nil {
+		b.Fatal(err)
+	}
+	fs, err := faultsim.New(nl, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.AttachFaultSim(fs)
+	b.ResetTimer()
+	cycles := 0
+	for i := 0; i < b.N; i++ {
+		res, err := s.Generate(nil, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.RoundCoverage) == 0 || res.FaultSim.Coverage() == 0 {
+			b.Fatal("campaign produced no round coverage")
+		}
+		cycles += len(res.Seq)
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "tgcycles/s")
+}
+
+// BenchmarkMutationTestsOneshotResim is the same campaign driven through
+// the pre-session API shape: MutationTests compiles the targets on every
+// call, and the per-round coverage trajectory is reconstructed afterwards
+// by fault-simulating every accepted prefix from scratch — the
+// O(rounds × prefix) cost the ISSUE's session redesign eliminates. The
+// ratio against BenchmarkMutationTests is the incremental win.
+func BenchmarkMutationTestsOneshotResim(b *testing.B) {
+	c, sample, nl := tgBenchFixture(b)
+	fs, err := faultsim.New(nl, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	cycles := 0
+	for i := 0; i < b.N; i++ {
+		res, err := tpg.MutationTests(c, sample, &tpg.Options{Seed: 11})
+		if err != nil {
+			b.Fatal(err)
+		}
+		pats := tpg.ToPatterns(c, res.Seq)
+		cov := make([]float64, 0, len(res.Segments))
+		for _, end := range res.Segments {
+			pre, err := fs.Run(pats[:end])
+			if err != nil {
+				b.Fatal(err)
+			}
+			cov = append(cov, pre.Coverage())
+		}
+		if len(cov) == 0 || cov[len(cov)-1] == 0 {
+			b.Fatal("campaign produced no round coverage")
+		}
+		cycles += len(res.Seq)
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "tgcycles/s")
 }
 
 // --- A1: sampling-rate sweep ---------------------------------------------------
@@ -353,7 +439,7 @@ func benchmarkFaultSimCombinational(b *testing.B, workers int) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	fs, err := faultsim.Config{Workers: workers}.New(nl, nil)
+	fs, err := faultsim.Config{Options: engine.Options{Workers: workers}}.New(nl, nil)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -386,7 +472,7 @@ func benchmarkFaultSimCombinationalLanes(b *testing.B, laneWords int) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	fs, err := faultsim.Config{LaneWords: laneWords}.New(nl, nil)
+	fs, err := faultsim.Config{Options: engine.Options{LaneWords: laneWords}}.New(nl, nil)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -417,7 +503,7 @@ func benchmarkFaultSimSequential(b *testing.B, workers int, singleCore bool) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	fs, err := faultsim.Config{Workers: workers}.New(nl, nil)
+	fs, err := faultsim.Config{Options: engine.Options{Workers: workers}}.New(nl, nil)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -455,7 +541,7 @@ func benchmarkFaultSimSequentialLanes(b *testing.B, laneWords int) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	fs, err := faultsim.Config{LaneWords: laneWords}.New(nl, nil)
+	fs, err := faultsim.Config{Options: engine.Options{LaneWords: laneWords}}.New(nl, nil)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -511,7 +597,7 @@ func benchmarkMutationScoreEngine(b *testing.B, workers int) {
 	c := circuits.MustLoad("b03")
 	ms := mutation.Generate(c)
 	seq := tpg.RandomSequence(c, 256, 1)
-	cfg := mutscore.Config{Workers: workers}
+	cfg := mutscore.Config{Options: engine.Options{Workers: workers}}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := cfg.Kills(c, ms, seq); err != nil {

@@ -34,6 +34,7 @@ import (
 
 	"repro/internal/circuits"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/faultsim"
 	"repro/internal/hdl"
 	"repro/internal/mutation"
@@ -120,8 +121,7 @@ func experimentFlags(fs *flag.FlagSet) func() core.Config {
 			EquivBudget: *equiv,
 			SampleFrac:  *frac,
 			Repeats:     *repeats,
-			Workers:     *workers,
-			LaneWords:   *laneWords,
+			Options:     engine.Options{Workers: *workers, LaneWords: *laneWords},
 		}
 	}
 }
@@ -403,7 +403,7 @@ func cmdFaultSim(args []string) error {
 	if err != nil {
 		return err
 	}
-	sim, err := faultsim.Config{Workers: *workers, LaneWords: *laneWords}.New(nl, nil)
+	sim, err := faultsim.Config{Options: engine.Options{Workers: *workers, LaneWords: *laneWords}}.New(nl, nil)
 	if err != nil {
 		return err
 	}

@@ -13,10 +13,18 @@
 // fault simulation) run on compiled engines that execute over multi-word
 // lane vectors (internal/lane: W×64 lanes per pass, W ∈ {1,4,8}), so one
 // pass carries up to 512 fault machines or a 512-mutant lockstep batch.
-// The LaneWords knob on faultsim.Config, mutscore.Config and core.Config
-// selects the width (0 = auto); Workers:1 + LaneWords:1 is the pinned
-// serial reference every configuration is differentially tested against
-// (internal/difftest).
+// Every engine Config embeds the shared engine.Options surface (Workers,
+// LaneWords, a progress hook and context cancellation); Workers:1 +
+// LaneWords:1 is the pinned serial reference every configuration is
+// differentially tested against (internal/difftest).
+//
+// The simulation surface is session-based: faultsim.Simulator.Append
+// extends an applied sequence incrementally (bit-identical to a one-shot
+// Run of the concatenation, simulating only the live fault frontier over
+// the new cycles), and tpg.Session compiles a mutant population once and
+// runs arbitrarily many generation campaigns over its subsets, driving
+// the incremental fault simulator round by round (AttachFaultSim). See
+// the "Sessions and incremental simulation" section of README.md.
 //
 // See README.md for the package inventory, build/test/benchmark entry
 // points, the two-engine simulation design and the lane-width guidance,

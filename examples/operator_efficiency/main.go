@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/circuits"
 	"repro/internal/core"
+	"repro/internal/engine"
 )
 
 func main() {
@@ -27,7 +28,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		flow, err := core.NewFlow(c, core.Config{Seed: 1, LaneWords: 4})
+		flow, err := core.NewFlow(c, core.Config{Seed: 1, Options: engine.Options{LaneWords: 4}})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -10,6 +10,7 @@ import (
 	"log"
 
 	"repro/internal/circuits"
+	"repro/internal/engine"
 	"repro/internal/faultsim"
 	"repro/internal/metrics"
 	"repro/internal/mutation"
@@ -40,13 +41,34 @@ func main() {
 	sample := sampling.Random(mutants, n, 42)
 	fmt.Printf("sampled %d mutants\n", len(sample))
 
-	// 4. Generate validation data killing the sampled mutants.
-	tg, err := tpg.MutationTests(circuit, sample, &tpg.Options{Seed: 42})
+	// 4. Generate validation data killing the sampled mutants. A Session
+	// compiles the targets once and can run any number of campaigns (per
+	// -run seeds, modes, subsets); with a fault simulator attached it
+	// also tracks the growing sequence's stuck-at coverage round by
+	// round, incrementally. tpg.MutationTests is the one-shot shorthand
+	// for exactly this.
+	session, err := tpg.NewSession(circuit, sample, &tpg.Options{Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The explicit config pins the parallel-fault engine to 512 lanes
+	// per pass (LaneWords: 8); the zero value picks a width
+	// automatically. Workers, Progress and Ctx (cancellation) ride on
+	// the same embedded engine.Options surface.
+	fsim, err := faultsim.Config{Options: engine.Options{LaneWords: 8}}.New(nl, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	session.AttachFaultSim(fsim)
+	tg, err := session.Generate(nil, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("validation data: %d cycles, kills %d/%d sampled mutants\n",
 		len(tg.Seq), tg.KilledCount(), len(sample))
+	fmt.Printf("fault coverage grew over %d accepted segments: %.1f%% -> %.1f%%\n",
+		len(tg.Segments),
+		100*tg.RoundCoverage[0], 100*tg.RoundCoverage[len(tg.RoundCoverage)-1])
 
 	// 5. Mutation score over the FULL population (validation quality).
 	killed, err := mutscore.Kills(circuit, mutants, tg.Seq)
@@ -61,17 +83,10 @@ func main() {
 	fmt.Printf("mutation score on all mutants: %.2f%%\n",
 		100*mutscore.Score(killed, equiv))
 
-	// 6. Re-use the same data as a structural stuck-at test set. The
-	// explicit config pins the parallel-fault engine to 512 lanes per
-	// pass (LaneWords: 8); the zero value picks a width automatically.
-	fsim, err := faultsim.Config{LaneWords: 8}.New(nl, nil)
-	if err != nil {
-		log.Fatal(err)
-	}
-	mutRes, err := fsim.Run(tpg.ToPatterns(circuit, tg.Seq))
-	if err != nil {
-		log.Fatal(err)
-	}
+	// 6. The same data doubles as a structural stuck-at test set — the
+	// session already fault-simulated it incrementally while generating,
+	// so the cumulative result comes for free.
+	mutRes := tg.FaultSim
 	fmt.Printf("stuck-at coverage of validation data: %.1f%% of %d collapsed faults\n",
 		100*mutRes.Coverage(), len(mutRes.Faults))
 

@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"repro/internal/atpg"
+	"repro/internal/engine"
 	"repro/internal/faultsim"
 	"repro/internal/hdl"
 	"repro/internal/metrics"
@@ -60,29 +61,23 @@ type Config struct {
 	// repeat), so operators with very different class sizes are compared
 	// on the same data-length scale. Default 40.
 	ProfileCap int
-	// Workers sizes both worker pools — mutant scoring (mutscore.Config)
-	// and fault simulation (faultsim.Config): 0 uses all cores with the
-	// compiled engines, 1 the serial reference engines kept for
-	// differential testing. Results are identical either way.
-	Workers int
-	// LaneWords sizes the compiled engines' lane vectors (faults and
-	// mutants per pass = LaneWords×64): 1, 4 and 8 force 64/256/512
-	// lanes, and 0 lets each engine pick its own default (fault
-	// simulation goes wide on sequential circuits and narrow on
-	// combinational ones; scoring batches use lane.DefaultWords).
-	// Workers:1 + LaneWords:1 is the bit-identical legacy reference
-	// configuration. Results are identical for every setting.
-	LaneWords int
+	// Options is the shared engine surface forwarded to every substrate
+	// — mutant scoring, fault simulation and test generation. See
+	// engine.Options for the Workers/LaneWords semantics (Workers:1 +
+	// LaneWords:1 is the bit-identical legacy reference configuration),
+	// the progress hook and cancellation. Results are identical for
+	// every setting.
+	engine.Options
 }
 
 // mutscoreConfig projects the flow configuration onto the scoring engine.
 func (c Config) mutscoreConfig() mutscore.Config {
-	return mutscore.Config{Workers: c.Workers, LaneWords: c.LaneWords}
+	return mutscore.Config{Options: c.Options}
 }
 
 // faultsimConfig projects the flow configuration onto the fault simulator.
 func (c Config) faultsimConfig() faultsim.Config {
-	return faultsim.Config{Workers: c.Workers, LaneWords: c.LaneWords}
+	return faultsim.Config{Options: c.Options}
 }
 
 func (c Config) withDefaults() Config {
@@ -127,6 +122,42 @@ type Flow struct {
 	equivalent []bool
 	profiles   []OperatorProfile
 	scorer     *mutscore.Scorer
+	tg         *tpg.Session
+	mutIdx     map[*mutation.Mutant]int
+}
+
+// tgSession returns the cached test-generation session over the full
+// mutant population — the whole population is compiled exactly once, and
+// every generation campaign (operator probes, strategy samples, the
+// full-population ceiling) runs as a subset selection on it. For
+// sequential circuits the flow's fault simulator is attached, so a
+// campaign's gate-level coverage is maintained incrementally as segments
+// are accepted instead of re-simulating the finished sequence
+// afterwards.
+func (f *Flow) tgSession() (*tpg.Session, error) {
+	if f.tg == nil {
+		opts := f.cfg.TG
+		opts.Options = f.cfg.Options
+		s, err := tpg.NewSession(f.Circuit, f.Mutants, &opts)
+		if err != nil {
+			return nil, err
+		}
+		// Incremental per-segment fault simulation pays only where the
+		// simulator applies stimuli cycle by cycle anyway (sequential
+		// parallel-fault mode). Combinational pattern-parallel mode packs
+		// LaneWords×64 patterns per pass, which 1-cycle segment appends
+		// would forfeit — those circuits keep the one-shot post-campaign
+		// run (see campaignFaultSim).
+		if f.Netlist.IsSequential() {
+			s.AttachFaultSim(f.fsim)
+		}
+		f.tg = s
+		f.mutIdx = make(map[*mutation.Mutant]int, len(f.Mutants))
+		for i, m := range f.Mutants {
+			f.mutIdx[m] = i
+		}
+	}
+	return f.tg, nil
 }
 
 // fullScorer returns the cached scorer over the full mutant population,
@@ -247,11 +278,11 @@ func (f *Flow) ProfileOperators() ([]OperatorProfile, error) {
 					return nil, fmt.Errorf("core: TG for %s: %w", op, err)
 				}
 			}
-			res, err := f.FaultSim(tg.Seq)
+			fres, err := f.campaignFaultSim(tg)
 			if err != nil {
 				return nil, err
 			}
-			effs = append(effs, metrics.Compare(res.Curve(), f.randCurve))
+			effs = append(effs, metrics.Compare(fres.Curve(), f.randCurve))
 			p.Killed += tg.KilledCount()
 			p.SeqLen += len(tg.Seq)
 		}
@@ -329,6 +360,16 @@ func DeriveWeights(profiles []OperatorProfile, floor float64) sampling.Weights {
 	return w
 }
 
+// campaignFaultSim returns a campaign's gate-level coverage result: the
+// incrementally maintained one when the session carries a fault
+// simulator, or a one-shot run of the final sequence otherwise.
+func (f *Flow) campaignFaultSim(tg *tpg.Result) (*faultsim.Result, error) {
+	if tg.FaultSim != nil {
+		return tg.FaultSim, nil
+	}
+	return f.FaultSim(tg.Seq)
+}
+
 // generate runs mutation-driven TG with the flow's options, offsetting the
 // seed so distinct calls explore distinct stimuli deterministically.
 func (f *Flow) generate(targets []*mutation.Mutant, seedOffset int64) (*tpg.Result, error) {
@@ -336,10 +377,23 @@ func (f *Flow) generate(targets []*mutation.Mutant, seedOffset int64) (*tpg.Resu
 }
 
 func (f *Flow) generateMode(targets []*mutation.Mutant, seedOffset int64, mode tpg.Mode) (*tpg.Result, error) {
+	s, err := f.tgSession()
+	if err != nil {
+		return nil, err
+	}
+	idx := make([]int, len(targets))
+	for i, m := range targets {
+		mi, ok := f.mutIdx[m]
+		if !ok {
+			return nil, fmt.Errorf("core: target mutant %q is not in the flow population", m.Desc)
+		}
+		idx[i] = mi
+	}
 	opts := f.cfg.TG
+	opts.Options = f.cfg.Options
 	opts.Mode = mode
 	opts.Seed = f.cfg.TG.Seed + seedOffset
-	return tpg.MutationTests(f.Circuit, targets, &opts)
+	return s.Generate(idx, &opts)
 }
 
 // FullTG generates (and caches) validation data targeting the entire
@@ -467,7 +521,7 @@ func (f *Flow) evalStrategy(name string, draw func(rep int64) []*mutation.Mutant
 		if err != nil {
 			return nil, err
 		}
-		fres, err := f.FaultSim(tg.Seq)
+		fres, err := f.campaignFaultSim(tg)
 		if err != nil {
 			return nil, err
 		}
@@ -541,7 +595,7 @@ func (f *Flow) SequentialATPGTopoff(frames int) (*SeqTopoffResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	pre, err := f.FaultSim(full.Seq)
+	pre, err := f.campaignFaultSim(full)
 	if err != nil {
 		return nil, err
 	}
@@ -580,7 +634,7 @@ func (f *Flow) ATPGTopoff() (*TopoffResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	pre, err := f.FaultSim(full.Seq)
+	pre, err := f.campaignFaultSim(full)
 	if err != nil {
 		return nil, err
 	}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/engine"
 	"repro/internal/faultsim"
 	"repro/internal/hdl"
 	"repro/internal/mutation"
@@ -43,6 +44,11 @@ var engineConfigs = []engineConfig{
 	{workers: 2, laneWords: 8},
 	{workers: 0, laneWords: 8},
 	{workers: 0, laneWords: 0}, // production auto setting
+}
+
+// options projects the table entry onto the shared engine surface.
+func (e engineConfig) options() engine.Options {
+	return engine.Options{Workers: e.workers, LaneWords: e.laneWords}
 }
 
 func (e engineConfig) String() string {
@@ -88,7 +94,7 @@ func TestFaultSimProfiles(t *testing.T) {
 			var ref *faultsim.Result
 			var refCfg engineConfig
 			for _, ec := range engineConfigs {
-				s, err := faultsim.Config{Workers: ec.workers, LaneWords: ec.laneWords}.New(nl, nil)
+				s, err := faultsim.Config{Options: ec.options()}.New(nl, nil)
 				if err != nil {
 					t.Fatalf("%s: %v", ec, err)
 				}
@@ -129,7 +135,7 @@ func TestFirstKillProfiles(t *testing.T) {
 			var ref []int
 			var refCfg engineConfig
 			for _, ec := range engineConfigs {
-				cycles, err := mutscore.Config{Workers: ec.workers, LaneWords: ec.laneWords}.
+				cycles, err := mutscore.Config{Options: ec.options()}.
 					FirstKillCycles(c, ms, seq)
 				if err != nil {
 					t.Fatalf("%s: %v", ec, err)
@@ -167,7 +173,7 @@ func TestCrossSubstrateCoverage(t *testing.T) {
 	pats := tpg.ToPatterns(c, seq)
 	var refCurve []float64
 	for _, ec := range engineConfigs {
-		s, err := faultsim.Config{Workers: ec.workers, LaneWords: ec.laneWords}.New(nl, nil)
+		s, err := faultsim.Config{Options: ec.options()}.New(nl, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,70 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/lane"
+)
+
+func TestSerial(t *testing.T) {
+	for n, want := range map[int]bool{0: false, 1: true, 2: false, 16: false} {
+		if got := (Options{Workers: n}).Serial(); got != want {
+			t.Errorf("Workers %d: Serial() = %v, want %v", n, got, want)
+		}
+	}
+}
+
+// TestLanes pins the knob resolution to internal/lane: 0 selects the
+// package default, the stenciled widths pass through, anything else is
+// rejected — the single validation every embedding Config shares.
+func TestLanes(t *testing.T) {
+	if w, err := (Options{}).Lanes(); err != nil || w != lane.DefaultWords {
+		t.Errorf("zero LaneWords resolved to (%d, %v), want (%d, nil)", w, err, lane.DefaultWords)
+	}
+	for _, w := range lane.Widths() {
+		got, err := (Options{LaneWords: w}).Lanes()
+		if err != nil || got != w {
+			t.Errorf("LaneWords %d resolved to (%d, %v)", w, got, err)
+		}
+	}
+	for _, w := range []int{-1, 2, 3, 5, 7, 9, 64} {
+		if _, err := (Options{LaneWords: w}).Lanes(); err == nil {
+			t.Errorf("LaneWords %d accepted", w)
+		}
+	}
+}
+
+func TestContextAndCancelled(t *testing.T) {
+	var o Options
+	if o.Context() == nil {
+		t.Fatal("nil Ctx must substitute a background context")
+	}
+	if err := o.Cancelled(); err != nil {
+		t.Fatalf("zero Options cancelled: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	o.Ctx = ctx
+	if o.Context() != ctx {
+		t.Fatal("Context() must return the configured context")
+	}
+	if err := o.Cancelled(); err != nil {
+		t.Fatalf("live context reported cancelled: %v", err)
+	}
+	cancel()
+	if err := o.Cancelled(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Cancelled() = %v, want context.Canceled", err)
+	}
+}
+
+func TestReport(t *testing.T) {
+	var got []Stats
+	o := Options{Progress: func(s Stats) { got = append(got, s) }}
+	o.Report(1, 4)
+	o.Report(4, 4)
+	if len(got) != 2 || got[0] != (Stats{1, 4}) || got[1] != (Stats{4, 4}) {
+		t.Fatalf("progress reports = %v", got)
+	}
+	(Options{}).Report(1, 1) // nil hook: must not panic
+}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/circuits"
+	"repro/internal/engine"
 	"repro/internal/netlist"
 	"repro/internal/synth"
 )
@@ -14,11 +15,16 @@ import (
 // serial reference engine (Workers 1), and the compiled parallel-fault
 // engine at every lane width × {fixed pools, all-cores default}.
 var parityConfigs = []Config{
-	{Workers: 1},
-	{Workers: 2, LaneWords: 1}, {Workers: 5, LaneWords: 1}, {Workers: 0, LaneWords: 1},
-	{Workers: 2, LaneWords: 4}, {Workers: 5, LaneWords: 4}, {Workers: 0, LaneWords: 4},
-	{Workers: 2, LaneWords: 8}, {Workers: 5, LaneWords: 8}, {Workers: 0, LaneWords: 8},
-	{Workers: 0}, // LaneWords 0: the lane.DefaultWords production setting
+	cfgOf(1, 0),
+	cfgOf(2, 1), cfgOf(5, 1), cfgOf(0, 1),
+	cfgOf(2, 4), cfgOf(5, 4), cfgOf(0, 4),
+	cfgOf(2, 8), cfgOf(5, 8), cfgOf(0, 8),
+	cfgOf(0, 0), // LaneWords 0: the per-topology production setting
+}
+
+// cfgOf abbreviates the embedded engine.Options literal in test tables.
+func cfgOf(workers, laneWords int) Config {
+	return Config{Options: engine.Options{Workers: workers, LaneWords: laneWords}}
 }
 
 // randPatterns builds a deterministic random test set.

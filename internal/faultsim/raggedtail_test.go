@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/engine"
 	"repro/internal/lane"
 )
 
@@ -33,7 +34,7 @@ func TestRaggedTailFaultBatches(t *testing.T) {
 	nl := randomParityNetlist(t, 99, 4, 420)
 	tests := randPatterns(len(nl.PIs), 24, 5)
 
-	ref, err := Config{Workers: 1}.New(nl, nil)
+	ref, err := Config{Options: engine.Options{Workers: 1}}.New(nl, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func TestRaggedTailFaultBatches(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				s, err := Config{Workers: 2, LaneWords: W}.New(nl, nil)
+				s, err := Config{Options: engine.Options{Workers: 2, LaneWords: W}}.New(nl, nil)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -92,12 +93,12 @@ func TestRaggedTailFaultBatches(t *testing.T) {
 // pattern past the tail mask must never count as a detection).
 func TestRaggedTailPatternBatches(t *testing.T) {
 	nl := randomParityNetlist(t, 104, 0, 120)
-	ref, err := Config{Workers: 1}.New(nl, nil)
+	ref, err := Config{Options: engine.Options{Workers: 1}}.New(nl, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, W := range lane.Widths() {
-		s, err := Config{Workers: 0, LaneWords: W}.New(nl, nil)
+		s, err := Config{Options: engine.Options{Workers: 0, LaneWords: W}}.New(nl, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -132,7 +133,7 @@ func TestRaggedTailPatternBatches(t *testing.T) {
 func TestRunOnEmptyAndSingle(t *testing.T) {
 	nl := randomParityNetlist(t, 2, 2, 25)
 	tests := randPatterns(len(nl.PIs), 40, 9)
-	ref, err := Config{Workers: 1}.New(nl, nil)
+	ref, err := Config{Options: engine.Options{Workers: 1}}.New(nl, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +153,7 @@ func TestRunOnEmptyAndSingle(t *testing.T) {
 	if target < 0 {
 		t.Fatal("no detected fault to single out")
 	}
-	for _, cfg := range []Config{{Workers: 1}, {LaneWords: 1}, {LaneWords: 4}, {LaneWords: 8}} {
+	for _, cfg := range []Config{{Options: engine.Options{Workers: 1}}, {Options: engine.Options{LaneWords: 1}}, {Options: engine.Options{LaneWords: 4}}, {Options: engine.Options{LaneWords: 8}}} {
 		label := fmt.Sprintf("workers=%d/lanewords=%d", cfg.Workers, cfg.LaneWords)
 		s, err := cfg.New(nl, nil)
 		if err != nil {

@@ -1,9 +1,11 @@
 package faultsim
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 
+	"repro/internal/engine"
 	"repro/internal/lane"
 	"repro/internal/netlist"
 	"repro/internal/par"
@@ -75,32 +77,33 @@ func (r *Result) Undetected() []Fault {
 	return out
 }
 
-// Config tunes fault simulation. The zero value is the fast default.
+// Config tunes fault simulation. The zero value is the fast default. The
+// execution knobs are the shared engine surface (see engine.Options for
+// the Workers/LaneWords semantics, the progress hook and cancellation):
+// Workers == 1 selects the single-fault reference engine — one Evaluator
+// pass per fault, strictly serial, kept for differential testing — and a
+// zero LaneWords picks the measured per-topology auto width: 8 words for
+// sequential circuits (wide vectors amortize the per-gate decode over
+// more fault machines) and 1 for combinational ones (per-fault early exit
+// makes the first 64-pattern batch decisive, so extra words are waste;
+// see the engine-ablation benchmarks). Results are identical for every
+// setting (see parity_test.go and internal/difftest).
 type Config struct {
-	// Workers sizes the fault-level worker pool: 0 uses all cores
-	// (compiled parallel-fault engine), n > 1 uses exactly n workers
-	// (compiled engine), and 1 selects the single-fault reference engine —
-	// one Evaluator pass per fault, strictly serial — kept for
-	// differential testing, mirroring mutscore.Config. Results are
-	// identical for every setting (see parity_test.go).
-	Workers int
-	// LaneWords selects the compiled engine's lane vector width in 64-bit
-	// words: 1, 4 or 8 force 64, 256 or 512 fault lanes per pass, and 0
-	// picks the measured auto default — 8 for sequential circuits (wide
-	// vectors amortize the per-gate decode over more fault machines) and
-	// 1 for combinational ones (per-fault early exit makes the first
-	// 64-pattern batch decisive, so extra words are waste; see the
-	// engine-ablation benchmarks). W=1 is the original single-word
-	// engine, bit for bit. The serial reference engine (Workers == 1)
-	// simulates one fault at a time and ignores this knob. Results are
-	// identical for every setting.
-	LaneWords int
+	engine.Options
 }
 
-func (c Config) reference() bool { return c.Workers == 1 }
+func (c Config) reference() bool { return c.Serial() }
 
 // Simulator runs stuck-at fault simulation against a fixed netlist and
 // collapsed fault list.
+//
+// A Simulator is a session: Run simulates a test set from power-on reset,
+// and Append extends the applied sequence in place — the good-machine
+// trace, the per-fault drop state and the live-fault frontier carry over,
+// so Append(t1) followed by Append(t2) is bit-identical to Run(t1 ∥ t2)
+// while only simulating the still-undetected frontier over the new
+// cycles. Run is reset-plus-Append; Reset restarts the session
+// explicitly. Not safe for concurrent use.
 type Simulator struct {
 	nl     *netlist.Netlist
 	faults []Fault
@@ -110,6 +113,16 @@ type Simulator struct {
 	good *netlist.Evaluator // reference engine (Workers == 1)
 	bad  *netlist.Evaluator
 	prog *netlist.Program // compiled engine (every other setting)
+
+	// Session state, rebuilt by Reset (and so by Run/RunOn).
+	applied  int                       // cycles (sequential) / patterns (combinational) applied
+	detected []int                     // cumulative first-detection profile over faults
+	live     []int                     // frontier: included faults not yet detected
+	batches  []seqBatch                // live parallel-fault batches (compiled sequential)
+	goodM    *netlist.Machine[lane.W1] // persistent good machine (compiled sequential)
+	combM    any                       // cached []*netlist.Machine[W] worker pool (compiled combinational)
+	refSeq   []Pattern                 // accumulated stimulus (reference sequential replay)
+	err      error                     // sticky failure from a cancelled/failed Append
 }
 
 // New builds a fault simulator with the default configuration. The fault
@@ -121,12 +134,12 @@ func New(nl *netlist.Netlist, faults []Fault) (*Simulator, error) {
 // New builds a fault simulator under this configuration. The fault list
 // defaults to Faults(nl) when faults is nil.
 func (c Config) New(nl *netlist.Netlist, faults []Fault) (*Simulator, error) {
-	if _, err := lane.Resolve(c.LaneWords); err != nil {
+	if _, err := c.Lanes(); err != nil {
 		return nil, fmt.Errorf("faultsim: %w", err)
 	}
 	words := c.LaneWords
 	if words == 0 {
-		// Auto width, per topology: see the LaneWords comment.
+		// Auto width, per topology: see the Config comment.
 		if nl.IsSequential() {
 			words = 8
 		} else {
@@ -145,73 +158,170 @@ func (c Config) New(nl *netlist.Netlist, faults []Fault) (*Simulator, error) {
 		if s.bad, err = netlist.NewEvaluator(nl); err != nil {
 			return nil, err
 		}
-		return s, nil
+	} else {
+		if s.prog, err = netlist.Compile(nl); err != nil {
+			return nil, err
+		}
+		if nl.IsSequential() {
+			s.goodM = netlist.NewMachine[lane.W1](s.prog)
+		}
 	}
-	if s.prog, err = netlist.Compile(nl); err != nil {
-		return nil, err
-	}
+	s.Reset()
 	return s, nil
 }
 
 // Faults returns the fault list under simulation.
 func (s *Simulator) Faults() []Fault { return s.faults }
 
-// Run fault-simulates the ordered test set and returns the first-detection
-// profile. Combinational circuits treat each pattern independently (W×64
-// patterns per pass); sequential circuits treat the whole set as one
-// sequence applied from power-on reset, simulated W×64 faults at a time
-// (parallel-fault, one fault machine per lane) with per-lane fault
-// dropping at first detection. W is the configured LaneWords.
+// Applied returns the number of patterns/cycles applied since the last
+// reset.
+func (s *Simulator) Applied() int { return s.applied }
+
+// Frontier returns the indices of the faults still under simulation —
+// the included, not-yet-detected subset the next Append will exercise.
+// The slice is owned by the caller.
+func (s *Simulator) Frontier() []int { return append([]int(nil), s.live...) }
+
+// Reset restarts the session at power-on reset with the full fault list
+// live and zero patterns applied. It also clears any sticky error left
+// by a cancelled Append.
+func (s *Simulator) Reset() {
+	include := make([]int, len(s.faults))
+	for i := range include {
+		include[i] = i
+	}
+	s.resetTo(include)
+}
+
+// resetTo restarts the session with the given (validated, owned) fault
+// subset as the frontier.
+func (s *Simulator) resetTo(include []int) {
+	s.applied = 0
+	s.err = nil
+	s.detected = make([]int, len(s.faults))
+	for i := range s.detected {
+		s.detected[i] = -1
+	}
+	s.live = include
+	s.refSeq = nil
+	s.batches = nil
+	if s.goodM != nil {
+		s.goodM.Reset()
+		s.batches = s.planBatches(include)
+	}
+}
+
+// snapshot returns the cumulative session result; the caller owns it.
+func (s *Simulator) snapshot() *Result {
+	return &Result{
+		Faults:        s.faults,
+		FirstDetected: append([]int(nil), s.detected...),
+		Patterns:      s.applied,
+	}
+}
+
+// Run fault-simulates the ordered test set from power-on reset and
+// returns the first-detection profile. Combinational circuits treat each
+// pattern independently (W×64 patterns per pass); sequential circuits
+// treat the whole set as one sequence applied from power-on reset,
+// simulated W×64 faults at a time (parallel-fault, one fault machine per
+// lane) with per-lane fault dropping at first detection. W is the
+// configured LaneWords. Run is exactly Reset followed by Append.
 func (s *Simulator) Run(tests []Pattern) (*Result, error) {
-	return s.RunOn(tests, nil)
+	s.Reset()
+	return s.Append(tests)
 }
 
 // RunOn is Run restricted to the faults whose indices are listed (nil
 // means the whole list; a non-nil empty list simulates nothing). Indices
 // must be unique — duplicates would put the same fault in two parallel
 // batches. Excluded faults keep FirstDetected == -1. Fault-dropping
-// callers (ATPG) use it to re-simulate only still-alive faults.
+// callers (ATPG) use it to re-simulate only still-alive faults. The
+// session continues from the subset: a later Append extends this run.
 func (s *Simulator) RunOn(tests []Pattern, include []int) (*Result, error) {
+	if include == nil {
+		return s.Run(tests)
+	}
+	seen := make([]bool, len(s.faults))
+	for _, fi := range include {
+		if fi < 0 || fi >= len(s.faults) {
+			return nil, fmt.Errorf("faultsim: fault index %d out of range [0,%d)", fi, len(s.faults))
+		}
+		if seen[fi] {
+			return nil, fmt.Errorf("faultsim: fault index %d listed twice", fi)
+		}
+		seen[fi] = true
+	}
+	s.resetTo(append([]int(nil), include...))
+	return s.Append(tests)
+}
+
+// Append extends the applied sequence with the given tests and returns
+// the cumulative first-detection profile since the last reset (detection
+// indices are global: an index of k names the k-th applied pattern/cycle
+// overall). Only the live frontier is simulated over the new
+// patterns/cycles; the good-machine trace and per-fault state carry over,
+// so chunked Appends are bit-identical to one one-shot Run of the
+// concatenation. A cancelled (engine.Options.Ctx) or failed Append
+// poisons the session — every later Append reports the same error until
+// Reset/Run/RunOn restarts it.
+func (s *Simulator) Append(tests []Pattern) (*Result, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
 	for i, p := range tests {
 		if len(p) != len(s.nl.PIs) {
 			return nil, fmt.Errorf("faultsim: pattern %d has %d values for %d PIs", i, len(p), len(s.nl.PIs))
 		}
 	}
-	if include == nil {
-		include = make([]int, len(s.faults))
-		for i := range include {
-			include[i] = i
-		}
-	} else {
-		seen := make([]bool, len(s.faults))
-		for _, fi := range include {
-			if fi < 0 || fi >= len(s.faults) {
-				return nil, fmt.Errorf("faultsim: fault index %d out of range [0,%d)", fi, len(s.faults))
+	if err := s.cfg.Cancelled(); err != nil {
+		s.err = fmt.Errorf("faultsim: %w", err)
+		return nil, s.err
+	}
+	if len(tests) > 0 {
+		var err error
+		if s.nl.IsSequential() {
+			if s.cfg.reference() {
+				err = s.appendSequentialRef(tests)
+			} else {
+				err = s.appendSequential(tests)
 			}
-			if seen[fi] {
-				return nil, fmt.Errorf("faultsim: fault index %d listed twice", fi)
+		} else {
+			if s.cfg.reference() {
+				err = s.appendCombinationalRef(tests)
+			} else {
+				err = s.appendCombinational(tests)
 			}
-			seen[fi] = true
+		}
+		if err != nil {
+			s.err = fmt.Errorf("faultsim: %w", err)
+			return nil, s.err
+		}
+		s.applied += len(tests)
+		s.prune()
+	}
+	return s.snapshot(), nil
+}
+
+// prune drops detected faults from the frontier and retired batches from
+// the schedule.
+func (s *Simulator) prune() {
+	liveOut := s.live[:0]
+	for _, fi := range s.live {
+		if s.detected[fi] < 0 {
+			liveOut = append(liveOut, fi)
 		}
 	}
-	res := &Result{
-		Faults:        s.faults,
-		FirstDetected: make([]int, len(s.faults)),
-		Patterns:      len(tests),
-	}
-	for i := range res.FirstDetected {
-		res.FirstDetected[i] = -1
-	}
-	if s.nl.IsSequential() {
-		if s.cfg.reference() {
-			return res, s.runSequentialRef(res, tests, include)
+	s.live = liveOut
+	if s.batches != nil {
+		batchOut := s.batches[:0]
+		for _, b := range s.batches {
+			if !b.retired() {
+				batchOut = append(batchOut, b)
+			}
 		}
-		return res, s.runSequential(res, tests, include)
+		s.batches = batchOut
 	}
-	if s.cfg.reference() {
-		return res, s.runCombinationalRef(res, tests, include)
-	}
-	return res, s.runCombinational(res, tests, include)
 }
 
 const allLanes = ^uint64(0)
@@ -225,16 +335,18 @@ func laneMaskFor(n int) uint64 {
 	return uint64(1)<<uint(n) - 1
 }
 
-// runCombinational dispatches the pattern-parallel scheduler at the
+// --- compiled combinational (pattern-parallel) -------------------------------
+
+// appendCombinational dispatches the pattern-parallel scheduler at the
 // resolved lane width; each width stencils its own scheduler and machine.
-func (s *Simulator) runCombinational(res *Result, tests []Pattern, include []int) error {
+func (s *Simulator) appendCombinational(tests []Pattern) error {
 	switch s.words {
 	case 4:
-		return runCombinationalLanes[lane.W4](s, res, tests, include)
+		return appendCombLanes[lane.W4](s, tests)
 	case 8:
-		return runCombinationalLanes[lane.W8](s, res, tests, include)
+		return appendCombLanes[lane.W8](s, tests)
 	default:
-		return runCombinationalLanes[lane.W1](s, res, tests, include)
+		return appendCombLanes[lane.W1](s, tests)
 	}
 }
 
@@ -278,27 +390,41 @@ func broadcastWords[W lane.Word](s *Simulator, tests []Pattern) [][]W {
 	return out
 }
 
-// runCombinationalLanes is the compiled pattern-parallel path: per fault,
-// one Machine pass per W×64-pattern batch until first detection, fanned
-// over a worker pool with a private Machine per worker.
-func runCombinationalLanes[W lane.Word](s *Simulator, res *Result, tests []Pattern, include []int) error {
+// combMachines returns the session's cached worker-machine pool at the
+// session width, grown to at least n machines. Machines carry no state
+// across patterns (each job clears and re-injects its own fault batch),
+// so reuse across Appends is free.
+func combMachines[W lane.Word](s *Simulator, n int) []*netlist.Machine[W] {
+	ms, _ := s.combM.([]*netlist.Machine[W])
+	for len(ms) < n {
+		ms = append(ms, netlist.NewMachine[W](s.prog))
+	}
+	s.combM = ms
+	return ms
+}
+
+// appendCombLanes is the compiled pattern-parallel path: per live fault,
+// one Machine pass per W×64-pattern batch of the new patterns until first
+// detection, fanned over a worker pool with a private Machine per worker.
+// Detection indices are offset by the patterns already applied.
+func appendCombLanes[W lane.Word](s *Simulator, tests []Pattern) error {
 	batchPIs := packPatternBatches[W](s, tests)
-	goodM := netlist.NewMachine[W](s.prog)
+	workers := par.Workers(s.cfg.Workers, len(s.live))
+	machines := combMachines[W](s, max(workers, 1))
+	goodM := machines[0]
+	goodM.ClearFaults()
 	batchGood := make([][]W, len(batchPIs))
 	for b, words := range batchPIs {
 		batchGood[b] = append([]W(nil), goodM.Eval(words)...)
 	}
 
 	L := lane.Count[W]()
-	workers := par.Workers(s.cfg.Workers, len(include))
-	machines := make([]*netlist.Machine[W], workers)
-	machines[0] = goodM
-	for w := 1; w < workers; w++ {
-		machines[w] = netlist.NewMachine[W](s.prog)
-	}
 	all := lane.Broadcast[W](allLanes)
-	par.Indexed(len(include), s.cfg.Workers, func(w, j int) {
-		fi := include[j]
+	base := s.applied
+	live := s.live
+	total := len(live)
+	return par.IndexedCtx(s.cfg.Ctx, len(live), s.cfg.Workers, func(w, j int) {
+		fi := live[j]
 		m := machines[w]
 		m.ClearFaults()
 		m.InjectFault(s.faults[fi].Site, all)
@@ -317,17 +443,18 @@ func runCombinationalLanes[W lane.Word](s *Simulator, res *Result, tests []Patte
 			// the lowest bit of the first non-zero word.
 			for k := 0; k < len(diff); k++ {
 				if diff[k] != 0 {
-					res.FirstDetected[fi] = lo + k*64 + bits.TrailingZeros64(diff[k])
+					s.detected[fi] = base + lo + k*64 + bits.TrailingZeros64(diff[k])
 					return
 				}
 			}
 		}
-	})
-	return nil
+	}, func(done int) { s.cfg.Report(done, total) })
 }
 
-// seqChunk is one parallel-fault work item: faults include[lo:hi]
-// simulated on a machine of the given lane width.
+// --- compiled sequential (parallel-fault) ------------------------------------
+
+// seqChunk is one planned parallel-fault batch: frontier positions
+// [lo:hi) simulated on a machine of the given lane width.
 type seqChunk struct {
 	lo, hi int
 	words  int
@@ -384,91 +511,81 @@ func (s *Simulator) planSeqChunks(n int) []seqChunk {
 	return out
 }
 
-// seqMachines lazily holds one machine per lane width for one worker;
-// most workers only ever instantiate the configured width, and tail
-// chunks borrow a narrow machine on demand.
-type seqMachines struct {
-	w1 *netlist.Machine[lane.W1]
-	w4 *netlist.Machine[lane.W4]
-	w8 *netlist.Machine[lane.W8]
-}
-
-// runSequential is the parallel-fault path the lane vectors were built
-// for: the undetected queue is consumed W×64 faults per batch, one fault
-// machine per lane, against broadcast stimuli. A lane is dropped at its
-// first detection; a batch ends early once every lane has dropped.
-// Batches are independent, so they fan out over the worker pool. The
-// good trace is simulated once, single-word (every lane of a broadcast
-// run is identical), and shared by chunks of every width.
-func (s *Simulator) runSequential(res *Result, tests []Pattern, include []int) error {
+// planBatches instantiates the chunk plan as stateful session batches.
+func (s *Simulator) planBatches(include []int) []seqBatch {
 	chunks := s.planSeqChunks(len(include))
-
-	// Width-independent stimuli and good trace.
-	pi1 := broadcastWords[lane.W1](s, tests)
-	goodM := netlist.NewMachine[lane.W1](s.prog)
-	goodPOs := make([][]uint64, len(tests))
-	for cyc, words := range pi1 {
-		out := goodM.Eval(words)
-		row := make([]uint64, len(out))
-		for po := range out {
-			row[po] = out[po][0]
-		}
-		goodPOs[cyc] = row
-		goodM.Clock()
-	}
-
-	// Broadcast stimuli per width actually scheduled.
-	var pi4 [][]lane.W4
-	var pi8 [][]lane.W8
+	out := make([]seqBatch, 0, len(chunks))
 	for _, c := range chunks {
-		switch {
-		case c.words == 4 && pi4 == nil:
-			pi4 = broadcastWords[lane.W4](s, tests)
-		case c.words == 8 && pi8 == nil:
-			pi8 = broadcastWords[lane.W8](s, tests)
-		}
-	}
-
-	workers := par.Workers(s.cfg.Workers, len(chunks))
-	machines := make([]seqMachines, workers)
-	machines[0].w1 = goodM
-	par.Indexed(len(chunks), s.cfg.Workers, func(w, ci int) {
-		c := chunks[ci]
-		batch := include[c.lo:c.hi]
-		mw := &machines[w]
+		faults := append([]int(nil), include[c.lo:c.hi]...)
 		switch c.words {
 		case 4:
-			if mw.w4 == nil {
-				mw.w4 = netlist.NewMachine[lane.W4](s.prog)
-			}
-			runSeqChunk(s, res, tests, batch, mw.w4, pi4, goodPOs)
+			out = append(out, &seqBatchW[lane.W4]{faults: faults, active: lane.FirstN[lane.W4](len(faults))})
 		case 8:
-			if mw.w8 == nil {
-				mw.w8 = netlist.NewMachine[lane.W8](s.prog)
-			}
-			runSeqChunk(s, res, tests, batch, mw.w8, pi8, goodPOs)
+			out = append(out, &seqBatchW[lane.W8]{faults: faults, active: lane.FirstN[lane.W8](len(faults))})
 		default:
-			if mw.w1 == nil {
-				mw.w1 = netlist.NewMachine[lane.W1](s.prog)
-			}
-			runSeqChunk(s, res, tests, batch, mw.w1, pi1, goodPOs)
+			out = append(out, &seqBatchW[lane.W1]{faults: faults, active: lane.FirstN[lane.W1](len(faults))})
 		}
-	})
-	return nil
+	}
+	return out
 }
 
-// runSeqChunk simulates one fault batch, one fault machine per lane,
-// with per-lane dropping at first detection and early exit once every
-// lane (and so every word) has dropped.
-func runSeqChunk[W lane.Word](s *Simulator, res *Result, tests []Pattern, batch []int, m *netlist.Machine[W], piWords [][]W, goodPOs [][]uint64) {
-	m.ClearFaults()
-	for ln, fi := range batch {
-		m.InjectFault(s.faults[fi].Site, lane.Bit[W](ln))
+// seqBatch is one live parallel-fault batch carried across Appends. Each
+// implementation is the width-stenciled state: the fault list (one per
+// lane), the active-lane mask, and the armed fault machine whose
+// flip-flop state continues exactly where the last Append stopped.
+type seqBatch interface {
+	run(s *Simulator, st *seqStim, goodPOs [][]uint64, base int, ctx context.Context) error
+	width() int
+	retired() bool
+}
+
+// seqBatchW is the per-width batch state. Each live batch owns its
+// machine across Appends: arming (injecting up to W×64 fault sites)
+// happens once per session, the machine's flip-flop state carries the
+// trace forward for free, and retiring a batch releases the machine to
+// the GC. The per-batch memory (one value array per W×64 faults) is a
+// few kilobytes for the benchmark circuits — far cheaper than
+// re-injecting the whole batch on every Append, which dominates small
+// sequential circuits under fine-grained (segment-sized) appends.
+type seqBatchW[W lane.Word] struct {
+	faults []int
+	active W
+	m      *netlist.Machine[W] // armed lazily at the first run; nil once retired
+	done   bool                // every lane dropped; the batch is retired
+}
+
+func (c *seqBatchW[W]) width() int    { var w W; return len(w) }
+func (c *seqBatchW[W]) retired() bool { return c.done }
+
+// run advances this batch over the new cycles: evaluate each cycle
+// against the good trace with per-lane dropping, retiring the batch once
+// every lane has dropped. The machine continues from its own state, so a
+// chunked run replays nothing. Detection indices are base plus the local
+// cycle.
+func (c *seqBatchW[W]) run(s *Simulator, st *seqStim, goodPOs [][]uint64, base int, ctx context.Context) error {
+	m := c.m
+	if m == nil {
+		// First window: a fresh machine is in power-on reset; arm the
+		// whole lane batch once for the session's lifetime.
+		m = netlist.NewMachine[W](s.prog)
+		for ln, fi := range c.faults {
+			m.InjectFault(s.faults[fi].Site, lane.Bit[W](ln))
+		}
+		c.m = m
 	}
-	m.Reset()
-	active := lane.FirstN[W](len(batch))
-	for cyc := range tests {
-		badOut := m.Eval(piWords[cyc])
+	// The drop masks live in registers/stack for the window (the batch
+	// field would force a memory round-trip per word per cycle on the
+	// hottest loop in the simulator) and are written back on exit.
+	active := c.active
+	faults := c.faults
+	detected := s.detected
+	pi := stimFor[W](st)
+	for cyc := range pi {
+		if ctx != nil && cyc&31 == 31 && ctx.Err() != nil {
+			c.active = active
+			return ctx.Err()
+		}
+		badOut := m.Eval(pi[cyc])
 		good := goodPOs[cyc]
 		anyActive := false
 		for k := 0; k < len(active); k++ {
@@ -482,7 +599,7 @@ func runSeqChunk[W lane.Word](s *Simulator, res *Result, tests []Pattern, batch 
 			d &= active[k]
 			for d != 0 {
 				ln := bits.TrailingZeros64(d)
-				res.FirstDetected[batch[k*64+ln]] = cyc
+				detected[faults[k*64+ln]] = base + cyc
 				d &^= 1 << uint(ln)
 				active[k] &^= 1 << uint(ln)
 			}
@@ -491,16 +608,97 @@ func runSeqChunk[W lane.Word](s *Simulator, res *Result, tests []Pattern, batch 
 			}
 		}
 		if !anyActive {
-			return
+			c.active = active
+			c.done = true
+			c.m = nil
+			return nil
 		}
 		m.Clock()
 	}
+	c.active = active
+	return nil
 }
 
-// runCombinationalRef is the single-fault reference: one Evaluator pass
-// per fault per batch, strictly serial. Kept verbatim as the differential
-// baseline for the compiled engine.
-func (s *Simulator) runCombinationalRef(res *Result, tests []Pattern, include []int) error {
+// seqStim holds the per-width broadcast stimuli for one Append window;
+// only the widths live batches need are materialized.
+type seqStim struct {
+	w1 [][]lane.W1
+	w4 [][]lane.W4
+	w8 [][]lane.W8
+}
+
+// stimFor returns the window stimulus at width W.
+func stimFor[W lane.Word](st *seqStim) [][]W {
+	var w W
+	switch len(w) {
+	case 4:
+		return any(st.w4).([][]W)
+	case 8:
+		return any(st.w8).([][]W)
+	default:
+		return any(st.w1).([][]W)
+	}
+}
+
+// appendSequential is the parallel-fault path the lane vectors were built
+// for: the live frontier is held as W×64-fault batches, one fault machine
+// per lane, against broadcast stimuli. A lane is dropped at its first
+// detection; a batch is retired once every lane has dropped, and later
+// Appends skip it entirely. Batches are independent, so they fan out over
+// the worker pool. The good trace continues on the session's persistent
+// single-word machine (every lane of a broadcast run is identical) and is
+// shared by batches of every width.
+func (s *Simulator) appendSequential(tests []Pattern) error {
+	ctx := s.cfg.Ctx
+	pi1 := broadcastWords[lane.W1](s, tests)
+	goodPOs := make([][]uint64, len(tests))
+	for cyc, words := range pi1 {
+		if ctx != nil && cyc&31 == 31 && ctx.Err() != nil {
+			return ctx.Err()
+		}
+		out := s.goodM.Eval(words)
+		row := make([]uint64, len(out))
+		for po := range out {
+			row[po] = out[po][0]
+		}
+		goodPOs[cyc] = row
+		s.goodM.Clock()
+	}
+
+	// Broadcast stimuli per width actually scheduled.
+	st := &seqStim{w1: pi1}
+	for _, b := range s.batches {
+		switch {
+		case b.width() == 4 && st.w4 == nil:
+			st.w4 = broadcastWords[lane.W4](s, tests)
+		case b.width() == 8 && st.w8 == nil:
+			st.w8 = broadcastWords[lane.W8](s, tests)
+		}
+	}
+
+	base := s.applied
+	total := len(s.batches)
+	errs := make([]error, len(s.batches))
+	err := par.IndexedCtx(ctx, len(s.batches), s.cfg.Workers, func(_, bi int) {
+		errs[bi] = s.batches[bi].run(s, st, goodPOs, base, ctx)
+	}, func(done int) { s.cfg.Report(done, total) })
+	if err != nil {
+		return err
+	}
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// --- reference engines -------------------------------------------------------
+
+// appendCombinationalRef is the single-fault reference: one Evaluator
+// pass per live fault per batch of the new patterns, strictly serial.
+// Kept as the differential baseline for the compiled engine.
+func (s *Simulator) appendCombinationalRef(tests []Pattern) error {
 	batchPIs := s.packPatternBatchesRef(tests)
 	batchGood := make([][]uint64, len(batchPIs))
 	for b, words := range batchPIs {
@@ -510,7 +708,12 @@ func (s *Simulator) runCombinationalRef(res *Result, tests []Pattern, include []
 		}
 		batchGood[b] = append([]uint64(nil), goodOut...)
 	}
-	for _, fi := range include {
+	base := s.applied
+	total := len(s.live)
+	for j, fi := range s.live {
+		if err := s.cfg.Cancelled(); err != nil {
+			return err
+		}
 	batches:
 		for b, words := range batchPIs {
 			lo := b * 64
@@ -521,10 +724,11 @@ func (s *Simulator) runCombinationalRef(res *Result, tests []Pattern, include []
 				diff |= (badOut[po] ^ batchGood[b][po]) & laneMask
 			}
 			if diff != 0 {
-				res.FirstDetected[fi] = lo + bits.TrailingZeros64(diff)
+				s.detected[fi] = base + lo + bits.TrailingZeros64(diff)
 				break batches
 			}
 		}
+		s.cfg.Report(j+1, total)
 	}
 	return nil
 }
@@ -553,12 +757,20 @@ func (s *Simulator) packPatternBatchesRef(tests []Pattern) [][]uint64 {
 	return out
 }
 
-// runSequentialRef is the single-fault reference: each fault replays the
-// whole sequence from power-on reset on its own Evaluator, broadcast
-// across all lanes, strictly serial.
-func (s *Simulator) runSequentialRef(res *Result, tests []Pattern, include []int) error {
-	piWords := make([][]uint64, len(tests))
-	for cyc, p := range tests {
+// appendSequentialRef is the single-fault reference: the session
+// accumulates the applied stimulus, and each live fault replays the whole
+// accumulated sequence from power-on reset on its own Evaluator,
+// broadcast across all lanes, strictly serial. Replaying the prefix keeps
+// the reference engine trivially correct (the simulation is
+// deterministic, and a live fault cannot be detected inside the prefix it
+// already survived) at the cost the reference engine always pays — it
+// exists for differential testing, not speed.
+func (s *Simulator) appendSequentialRef(tests []Pattern) error {
+	for _, p := range tests {
+		s.refSeq = append(s.refSeq, append(Pattern(nil), p...))
+	}
+	piWords := make([][]uint64, len(s.refSeq))
+	for cyc, p := range s.refSeq {
 		words := make([]uint64, len(s.nl.PIs))
 		for pi, v := range p {
 			if v != 0 {
@@ -567,7 +779,7 @@ func (s *Simulator) runSequentialRef(res *Result, tests []Pattern, include []int
 		}
 		piWords[cyc] = words
 	}
-	goodPOs := make([][]uint64, len(tests))
+	goodPOs := make([][]uint64, len(s.refSeq))
 	s.good.Reset()
 	for cyc, words := range piWords {
 		out, err := s.good.Eval(words)
@@ -577,21 +789,26 @@ func (s *Simulator) runSequentialRef(res *Result, tests []Pattern, include []int
 		goodPOs[cyc] = append([]uint64(nil), out...)
 		s.good.Clock()
 	}
-	for _, fi := range include {
+	total := len(s.live)
+	for j, fi := range s.live {
+		if err := s.cfg.Cancelled(); err != nil {
+			return err
+		}
 		f := s.faults[fi]
 		s.bad.Reset()
-		for cyc := range tests {
+		for cyc := range s.refSeq {
 			badOut := s.bad.EvalWith(piWords[cyc], f.Site, allLanes)
 			var diff uint64
 			for po := range badOut {
 				diff |= badOut[po] ^ goodPOs[cyc][po]
 			}
 			if diff != 0 {
-				res.FirstDetected[fi] = cyc
+				s.detected[fi] = cyc
 				break
 			}
 			s.bad.ClockWith(f.Site, allLanes)
 		}
+		s.cfg.Report(j+1, total)
 	}
 	return nil
 }

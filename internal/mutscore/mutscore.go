@@ -16,30 +16,25 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/engine"
 	"repro/internal/hdl"
-	"repro/internal/lane"
 	"repro/internal/mutation"
 	"repro/internal/sim"
 	"repro/internal/tpg"
 )
 
-// Config tunes mutant scoring. The zero value is the fast default.
+// Config tunes mutant scoring. The zero value is the fast default. The
+// execution knobs are the shared engine surface (see engine.Options for
+// the Workers/LaneWords semantics, the progress hook and cancellation):
+// Workers == 1 selects the legacy serial interpreter path kept for
+// differential testing, and LaneWords sizes the compiled engine's
+// lockstep scoring batches (0 selects lane.DefaultWords). Results are
+// identical for every setting (see parity_test.go).
 type Config struct {
-	// Workers sizes the scoring pool: 0 uses all cores (compiled engine),
-	// n > 1 uses exactly n workers (compiled engine), and 1 selects the
-	// legacy serial interpreter path kept for differential testing.
-	// Results are identical for every setting.
-	Workers int
-	// LaneWords sizes the compiled engine's scoring batches: mutants are
-	// packed laneWords×64 per pool job and stepped in lockstep against
-	// the shared good trace (0 selects lane.DefaultWords; 1, 4 and 8
-	// force 64/256/512 mutants per batch). The legacy serial path
-	// (Workers == 1) scores one mutant at a time and ignores this knob.
-	// Results are identical for every setting (see parity_test.go).
-	LaneWords int
+	engine.Options
 }
 
-func (cfg Config) legacy() bool { return cfg.Workers == 1 }
+func (cfg Config) legacy() bool { return cfg.Serial() }
 
 // Scorer scores one mutant population against arbitrary sequences. The
 // compiled engine's programs are built once at construction, so callers
@@ -58,7 +53,7 @@ type Scorer struct {
 // configuration (Workers == 1) no compilation happens and every call runs
 // the serial interpreter.
 func (cfg Config) NewScorer(c *hdl.Circuit, mutants []*mutation.Mutant) (*Scorer, error) {
-	if _, err := lane.Resolve(cfg.LaneWords); err != nil {
+	if _, err := cfg.Lanes(); err != nil {
 		return nil, fmt.Errorf("mutscore: %w", err)
 	}
 	s := &Scorer{cfg: cfg, c: c, mutants: mutants}
@@ -100,13 +95,13 @@ func (s *Scorer) wrapBatchErr(err error, idx []int) error {
 // if the sequence never distinguishes it.
 func (s *Scorer) FirstKillCycles(seq sim.Sequence) ([]int, error) {
 	if s.cfg.legacy() {
-		return firstKillCyclesSerial(s.c, s.mutants, seq)
+		return firstKillCyclesSerial(s.c, s.mutants, seq, s.cfg.Options)
 	}
 	goodOuts, err := s.good.NewMachine().Run(seq)
 	if err != nil {
 		return nil, err
 	}
-	cycles, err := sim.FirstKillBatch(s.progs, seq, goodOuts, s.cfg.Workers, s.cfg.LaneWords)
+	cycles, err := sim.FirstKillBatch(s.progs, seq, goodOuts, s.cfg.Options)
 	if err != nil {
 		return nil, s.wrapBatchErr(err, nil)
 	}
@@ -137,7 +132,7 @@ func (s *Scorer) killsSubset(idx []int, seq sim.Sequence) ([]bool, error) {
 	for i, mi := range idx {
 		sub[i] = s.progs[mi]
 	}
-	cycles, err := sim.FirstKillBatch(sub, seq, goodOuts, s.cfg.Workers, s.cfg.LaneWords)
+	cycles, err := sim.FirstKillBatch(sub, seq, goodOuts, s.cfg.Options)
 	if err != nil {
 		return nil, s.wrapBatchErr(err, idx)
 	}
@@ -174,6 +169,9 @@ func (s *Scorer) EstimateEquivalence(extra []sim.Sequence, opts *EquivalenceOpti
 			if len(seq) == 0 {
 				continue
 			}
+			if err := s.cfg.Cancelled(); err != nil {
+				return nil, fmt.Errorf("mutscore: %w", err)
+			}
 			killed, err := s.Kills(seq)
 			if err != nil {
 				return nil, err
@@ -194,6 +192,9 @@ func (s *Scorer) EstimateEquivalence(extra []sim.Sequence, opts *EquivalenceOpti
 	for _, seq := range campaign {
 		if len(seq) == 0 || len(live) == 0 {
 			continue
+		}
+		if err := s.cfg.Cancelled(); err != nil {
+			return nil, fmt.Errorf("mutscore: %w", err)
 		}
 		killed, err := s.killsSubset(live, seq)
 		if err != nil {
@@ -266,7 +267,7 @@ func EstimateEquivalence(c *hdl.Circuit, mutants []*mutation.Mutant, extra []sim
 // firstKillCyclesSerial is the original engine: one AST-walking
 // interpreter run per mutant, strictly sequential. It is the reference
 // the compiled pool is differentially tested against.
-func firstKillCyclesSerial(c *hdl.Circuit, mutants []*mutation.Mutant, seq sim.Sequence) ([]int, error) {
+func firstKillCyclesSerial(c *hdl.Circuit, mutants []*mutation.Mutant, seq sim.Sequence, opts engine.Options) ([]int, error) {
 	origSim, err := sim.New(c)
 	if err != nil {
 		return nil, err
@@ -277,11 +278,15 @@ func firstKillCyclesSerial(c *hdl.Circuit, mutants []*mutation.Mutant, seq sim.S
 	}
 	out := make([]int, len(mutants))
 	for i, m := range mutants {
+		if err := opts.Cancelled(); err != nil {
+			return nil, fmt.Errorf("mutscore: %w", err)
+		}
 		cy, err := firstKillInterpreted(m, seq, origOuts)
 		if err != nil {
 			return nil, fmt.Errorf("mutscore: mutant %d (%s): %w", i, m.Desc, err)
 		}
 		out[i] = cy
+		opts.Report(i+1, len(mutants))
 	}
 	return out, nil
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/circuits"
+	"repro/internal/engine"
 	"repro/internal/mutation"
 	"repro/internal/sim"
 	"repro/internal/tpg"
@@ -14,11 +15,16 @@ import (
 // interpreter (Workers 1), and the compiled engine at every lane width ×
 // {fixed pools, the all-cores default}.
 var parityConfigs = []Config{
-	{Workers: 1},
-	{Workers: 2, LaneWords: 1}, {Workers: 5, LaneWords: 1}, {Workers: 0, LaneWords: 1},
-	{Workers: 2, LaneWords: 4}, {Workers: 0, LaneWords: 4},
-	{Workers: 2, LaneWords: 8}, {Workers: 0, LaneWords: 8},
-	{Workers: 0}, // LaneWords 0: the lane.DefaultWords production setting
+	cfgOf(1, 0),
+	cfgOf(2, 1), cfgOf(5, 1), cfgOf(0, 1),
+	cfgOf(2, 4), cfgOf(0, 4),
+	cfgOf(2, 8), cfgOf(0, 8),
+	cfgOf(0, 0), // LaneWords 0: the lane.DefaultWords production setting
+}
+
+// cfgOf abbreviates the embedded engine.Options literal in test tables.
+func cfgOf(workers, laneWords int) Config {
+	return Config{Options: engine.Options{Workers: workers, LaneWords: laneWords}}
 }
 
 // TestEngineParity is the differential guarantee the ISSUE demands:
@@ -88,11 +94,11 @@ func TestEstimateEquivalenceParityWithExtras(t *testing.T) {
 		t.Fatal(err)
 	}
 	opts := &EquivalenceOptions{Budget: 64, Seed: 17}
-	serial, err := Config{Workers: 1}.EstimateEquivalence(c, ms, []sim.Sequence{res.Seq}, opts)
+	serial, err := cfgOf(1, 0).EstimateEquivalence(c, ms, []sim.Sequence{res.Seq}, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	pooled, err := Config{Workers: 0}.EstimateEquivalence(c, ms, []sim.Sequence{res.Seq}, opts)
+	pooled, err := cfgOf(0, 0).EstimateEquivalence(c, ms, []sim.Sequence{res.Seq}, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -29,27 +30,78 @@ func Workers(n, jobs int) int {
 // size (resolved through Workers). fn receives the worker number and the
 // job index; it must confine its writes to per-index or per-worker state.
 func Indexed(jobs, workers int, fn func(w, i int)) {
+	IndexedCtx(nil, jobs, workers, fn, nil)
+}
+
+// IndexedCtx is Indexed with cooperative cancellation and completion
+// reporting. A nil ctx never cancels. Once ctx is done, no new job is
+// dispatched (jobs already running finish — fn should poll ctx itself
+// when a single job is long) and the pool is drained before the
+// context's error is returned, so no goroutine outlives the call. done,
+// when non-nil, is invoked after each completed job with the number of
+// jobs finished so far; it runs on worker goroutines, so it must be safe
+// for concurrent use. The results written by fn stay deterministic under
+// cancellation in the sense that every job either ran completely or not
+// at all — but which jobs ran depends on timing, so callers treat a
+// non-nil error as "partial, discard".
+func IndexedCtx(ctx context.Context, jobs, workers int, fn func(w, i int), done func(completed int)) error {
 	workers = Workers(workers, jobs)
 	if workers <= 1 {
 		for i := 0; i < jobs; i++ {
+			if ctx != nil && ctx.Err() != nil {
+				return ctx.Err()
+			}
 			fn(0, i)
+			if done != nil {
+				done(i + 1)
+			}
 		}
-		return
+		if ctx != nil {
+			return ctx.Err()
+		}
+		return nil
 	}
 	next := make(chan int)
+	var doneMu sync.Mutex
+	completed := 0
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			for i := range next {
+				if ctx != nil && ctx.Err() != nil {
+					continue // drain without working
+				}
 				fn(w, i)
+				if done != nil {
+					// Count and deliver under one lock so the reported
+					// completion counts are strictly increasing — a hook
+					// must never observe the count going backwards.
+					doneMu.Lock()
+					completed++
+					done(completed)
+					doneMu.Unlock()
+				}
 			}
 		}(w)
 	}
+dispatch:
 	for i := 0; i < jobs; i++ {
-		next <- i
+		if ctx == nil {
+			next <- i
+			continue
+		}
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()
+	if ctx != nil {
+		return ctx.Err()
+	}
+	return nil
 }

@@ -1,6 +1,8 @@
 package par
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync/atomic"
@@ -99,5 +101,72 @@ func TestIndexedWorkerNumbers(t *testing.T) {
 	}
 	if total != jobs {
 		t.Errorf("worker counts sum to %d, want %d", total, jobs)
+	}
+}
+
+// TestIndexedCtxCompletion checks the done callback counts every job
+// exactly once and ends at the job total, for serial and pooled paths.
+func TestIndexedCtxCompletion(t *testing.T) {
+	for _, workers := range []int{1, 3, 0} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			const jobs = 37
+			var ran int32
+			var maxDone int32
+			err := IndexedCtx(context.Background(), jobs, workers, func(w, i int) {
+				atomic.AddInt32(&ran, 1)
+			}, func(completed int) {
+				for {
+					cur := atomic.LoadInt32(&maxDone)
+					if int32(completed) <= cur || atomic.CompareAndSwapInt32(&maxDone, cur, int32(completed)) {
+						return
+					}
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ran != jobs || maxDone != jobs {
+				t.Errorf("ran %d jobs, max completion %d, want %d", ran, maxDone, jobs)
+			}
+		})
+	}
+}
+
+// TestIndexedCtxCancellation cancels mid-dispatch: the call must return
+// the context error, run only a prefix of the jobs, and leave no worker
+// goroutine behind (the -race run backs the cleanliness claim).
+func TestIndexedCtxCancellation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			const jobs = 10000
+			ctx, cancel := context.WithCancel(context.Background())
+			var ran int32
+			err := IndexedCtx(ctx, jobs, workers, func(w, i int) {
+				if atomic.AddInt32(&ran, 1) == 3 {
+					cancel()
+				}
+			}, nil)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			if n := atomic.LoadInt32(&ran); int(n) >= jobs {
+				t.Errorf("all %d jobs ran despite cancellation", n)
+			}
+		})
+	}
+}
+
+// TestIndexedCtxPreCancelled never runs a single job when the context is
+// already done at call time.
+func TestIndexedCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran int32
+	err := IndexedCtx(ctx, 100, 4, func(w, i int) { atomic.AddInt32(&ran, 1) }, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran != 0 {
+		t.Errorf("%d jobs ran under a pre-cancelled context", ran)
 	}
 }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/bitvec"
 	"repro/internal/circuits"
+	"repro/internal/engine"
 	"repro/internal/hdl"
 	"repro/internal/mutation"
 	"repro/internal/sim"
@@ -184,7 +185,7 @@ func TestFirstKillBatchDeterministic(t *testing.T) {
 	var ref []int
 	for _, workers := range []int{1, 2, 7, 0} {
 		for _, laneWords := range []int{0, 1, 4, 8} {
-			got, err := sim.FirstKillBatch(progs, seq, goodOuts, workers, laneWords)
+			got, err := sim.FirstKillBatch(progs, seq, goodOuts, engine.Options{Workers: workers, LaneWords: laneWords})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -200,7 +201,7 @@ func TestFirstKillBatchDeterministic(t *testing.T) {
 			}
 		}
 	}
-	if _, err := sim.FirstKillBatch(progs, seq, goodOuts, 0, 3); err == nil {
+	if _, err := sim.FirstKillBatch(progs, seq, goodOuts, engine.Options{LaneWords: 3}); err == nil {
 		t.Error("unsupported lane width accepted")
 	}
 }

@@ -11,11 +11,12 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 
+	"repro/internal/engine"
 	"repro/internal/hdl"
-	"repro/internal/lane"
 	"repro/internal/par"
 )
 
@@ -59,13 +60,16 @@ func CompileBatch(cs []*hdl.Circuit, workers int) ([]*Program, error) {
 // FirstKillBatch runs every program against the sequence and returns, per
 // program, the first cycle whose outputs differ from goodOuts (the
 // reference circuit's trace over the same sequence), or -1 if the
-// sequence never distinguishes it. Programs are packed laneWords×64 per
-// batch (0 selects lane.DefaultWords) and each batch is one pool job,
-// stepped in lockstep with early per-mutant dropping and early batch
-// exit. A program that fails mid-sequence reports its error and drops;
-// the rest of its batch keeps scoring.
-func FirstKillBatch(progs []*Program, seq Sequence, goodOuts []Vector, workers, laneWords int) ([]int, error) {
-	words, err := lane.Resolve(laneWords)
+// sequence never distinguishes it. The engine options size the pool
+// (Workers) and the lane batches (LaneWords×64 programs per pool job, 0
+// selecting lane.DefaultWords); each batch is stepped in lockstep with
+// early per-mutant dropping and early batch exit, the progress hook
+// fires per completed batch, and a cancelled Ctx aborts between batches
+// (and between cycles inside a batch) with the context's error. A
+// program that fails mid-sequence reports its error and drops; the rest
+// of its batch keeps scoring.
+func FirstKillBatch(progs []*Program, seq Sequence, goodOuts []Vector, opts engine.Options) ([]int, error) {
+	words, err := opts.Lanes()
 	if err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
@@ -73,13 +77,22 @@ func FirstKillBatch(progs []*Program, seq Sequence, goodOuts []Vector, workers, 
 	out := make([]int, len(progs))
 	errs := make([]error, len(progs))
 	nBatches := (len(progs) + L - 1) / L
-	workers = par.Workers(workers, nBatches)
-	scratch := make([]Vector, workers)
-	par.Indexed(nBatches, workers, func(w, b int) {
+	workers := par.Workers(opts.Workers, nBatches)
+	scratch := make([]Vector, max(workers, 1))
+	ctxErrs := make([]error, nBatches)
+	err = par.IndexedCtx(opts.Ctx, nBatches, opts.Workers, func(w, b int) {
 		lo := b * L
 		hi := min(lo+L, len(progs))
-		firstKillLockstep(progs[lo:hi], seq, goodOuts, out[lo:hi], errs[lo:hi], &scratch[w])
-	})
+		ctxErrs[b] = firstKillLockstep(progs[lo:hi], seq, goodOuts, out[lo:hi], errs[lo:hi], &scratch[w], opts.Ctx)
+	}, func(done int) { opts.Report(done, nBatches) })
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	for _, e := range ctxErrs {
+		if e != nil {
+			return nil, fmt.Errorf("sim: %w", e)
+		}
+	}
 	if err := firstBatchError(errs); err != nil {
 		return nil, err
 	}
@@ -91,7 +104,7 @@ func FirstKillBatch(progs []*Program, seq Sequence, goodOuts []Vector, workers, 
 // is read once per cycle for the whole batch. alive is a per-lane mask;
 // killed and failed lanes drop out of the stepping loop immediately, and
 // the batch returns once no lane is alive.
-func firstKillLockstep(batch []*Program, seq Sequence, goodOuts []Vector, out []int, errs []error, scratch *Vector) {
+func firstKillLockstep(batch []*Program, seq Sequence, goodOuts []Vector, out []int, errs []error, scratch *Vector, ctx context.Context) error {
 	machines := make([]*Machine, len(batch))
 	maxOuts := 0
 	for j, p := range batch {
@@ -108,6 +121,9 @@ func firstKillLockstep(batch []*Program, seq Sequence, goodOuts []Vector, out []
 	}
 	remaining := len(batch)
 	for cyc, v := range seq {
+		if ctx != nil && cyc&31 == 31 && ctx.Err() != nil {
+			return ctx.Err()
+		}
 		for k := range alive {
 			rest := alive[k]
 			for rest != 0 {
@@ -136,7 +152,8 @@ func firstKillLockstep(batch []*Program, seq Sequence, goodOuts []Vector, out []
 			}
 		}
 		if remaining == 0 {
-			return
+			return nil
 		}
 	}
+	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/circuits"
+	"repro/internal/engine"
 	"repro/internal/hdl"
 	"repro/internal/mutation"
 	"repro/internal/sim"
@@ -55,7 +56,7 @@ func TestFirstKillBatchRaggedTails(t *testing.T) {
 	fx := newScoringFixture(t)
 
 	// Reference profile per distinct program.
-	ref, err := sim.FirstKillBatch(fx.progs, fx.seq, fx.goodOuts, 1, 1)
+	ref, err := sim.FirstKillBatch(fx.progs, fx.seq, fx.goodOuts, engine.Options{Workers: 1, LaneWords: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func TestFirstKillBatchRaggedTails(t *testing.T) {
 				for i := range progs {
 					progs[i] = fx.progs[i%len(fx.progs)]
 				}
-				got, err := sim.FirstKillBatch(progs, fx.seq, fx.goodOuts, 2, W)
+				got, err := sim.FirstKillBatch(progs, fx.seq, fx.goodOuts, engine.Options{Workers: 2, LaneWords: W})
 				if err != nil {
 					t.Fatal(err)
 				}

@@ -1,0 +1,420 @@
+package tpg
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bitvec"
+	"repro/internal/faultsim"
+	"repro/internal/hdl"
+	"repro/internal/mutation"
+	"repro/internal/sim"
+)
+
+// Session owns one circuit's compiled test-generation state across runs:
+// the original's compiled machine and one compiled machine per mutant of
+// the population. Construction pays for compilation exactly once;
+// Generate then runs any number of independent generation campaigns —
+// over the whole population or any subset, with per-run seeds, modes and
+// limits — without recompiling anything. That is the shape the flow
+// experiments need (the same population is targeted over and over with
+// different samples, seeds and disciplines) and what the one-shot
+// MutationTests API forced them to recompile every time.
+//
+// A Session can also drive an incremental fault simulator
+// (AttachFaultSim): every accepted segment is appended to the simulator
+// as it is accepted, so the growing sequence's gate-level coverage is
+// maintained round by round against the live-fault frontier instead of
+// re-simulating the accepted prefix after (or worse, during) every
+// round.
+//
+// A Session is not safe for concurrent use; run one campaign at a time.
+type Session struct {
+	c        *hdl.Circuit
+	mutants  []*mutation.Mutant
+	opts     Options // session defaults, withDefaults applied
+	seqShape bool
+
+	orig     *sim.Machine
+	machines []*sim.Machine // one per population mutant
+
+	fsim *faultsim.Simulator
+}
+
+// NewSession compiles the circuit and the whole mutant population under
+// the session options (engine.Options.Workers sizes the compilation
+// pool; Mode/Seed/limits become the defaults a nil-opts Generate runs
+// with).
+func NewSession(c *hdl.Circuit, mutants []*mutation.Mutant, opts *Options) (*Session, error) {
+	seqShape := len(c.Regs) > 0 || len(c.AssignedSignals(hdl.Seq)) > 0
+	s := &Session{
+		c:        c,
+		mutants:  mutants,
+		opts:     opts.withDefaults(seqShape),
+		seqShape: seqShape,
+	}
+	origProg, err := sim.Compile(c)
+	if err != nil {
+		return nil, err
+	}
+	s.orig = origProg.NewMachine()
+	cs := make([]*hdl.Circuit, len(mutants))
+	for i, m := range mutants {
+		cs[i] = m.Circuit
+	}
+	progs, err := sim.CompileBatch(cs, s.opts.Workers)
+	if err != nil {
+		var be *sim.BatchError
+		if errors.As(err, &be) {
+			return nil, fmt.Errorf("tpg: mutant %d: %w", be.Index, be.Err)
+		}
+		return nil, fmt.Errorf("tpg: %w", err)
+	}
+	s.machines = make([]*sim.Machine, len(progs))
+	for i, p := range progs {
+		s.machines[i] = p.NewMachine()
+	}
+	return s, nil
+}
+
+// Targets returns the mutant population compiled into the session.
+func (s *Session) Targets() []*mutation.Mutant { return s.mutants }
+
+// AttachFaultSim connects an incremental gate-level fault simulator
+// (built over the synthesized netlist of the session's circuit, so
+// ToPatterns output matches its PI order). Every subsequent Generate
+// resets the simulator, appends the reset cycle and then every accepted
+// segment as it is accepted, and reports the cumulative coverage in
+// Result.FaultSim / Result.RoundCoverage. Passing nil detaches.
+func (s *Session) AttachFaultSim(fs *faultsim.Simulator) { s.fsim = fs }
+
+// liveMutant tracks one target mutant's machine during generation.
+type liveMutant struct {
+	idx int // position in the run's target selection (Killed index)
+	sim *sim.Machine
+}
+
+// Generate runs one full mutation-driven generation campaign over the
+// population subset selected by targets (indices into Targets(); nil
+// selects the whole population) and returns its result, with Killed
+// indexed like the selection. opts overrides the session defaults for
+// this run (nil runs the defaults); compilation is never repeated, so
+// per-run options are free. The result is bit-identical to what
+// MutationTests returns for the same selection and options — the parity
+// is pinned by the session tests.
+func (s *Session) Generate(targets []int, opts *Options) (*Result, error) {
+	o := s.opts
+	if opts != nil {
+		o = opts.withDefaults(s.seqShape)
+	}
+	if targets == nil {
+		targets = make([]int, len(s.mutants))
+		for i := range targets {
+			targets[i] = i
+		}
+	} else {
+		seen := make([]bool, len(s.mutants))
+		for _, mi := range targets {
+			if mi < 0 || mi >= len(s.mutants) {
+				return nil, fmt.Errorf("tpg: target index %d out of range [0,%d)", mi, len(s.mutants))
+			}
+			// A duplicate would alias one compiled machine across two
+			// campaign slots and double-step it — reject it like
+			// faultsim.RunOn rejects duplicate fault indices.
+			if seen[mi] {
+				return nil, fmt.Errorf("tpg: target index %d listed twice", mi)
+			}
+			seen[mi] = true
+		}
+	}
+	r := &genRun{s: s, o: o, rng: rand.New(rand.NewSource(o.Seed))}
+	return r.generate(targets)
+}
+
+// genRun is one in-progress generation campaign: the run options, the
+// RNG, the live target set and the growing result.
+type genRun struct {
+	s   *Session
+	o   Options
+	rng *rand.Rand
+	all []*liveMutant
+	res *Result
+	ins []*hdl.Port
+}
+
+func (r *genRun) generate(targets []int) (*Result, error) {
+	s := r.s
+	if err := r.cancelled(); err != nil {
+		return nil, err
+	}
+	r.all = make([]*liveMutant, 0, len(targets))
+	for i, mi := range targets {
+		r.all = append(r.all, &liveMutant{idx: i, sim: s.machines[mi]})
+	}
+	r.res = &Result{Killed: make([]bool, len(targets))}
+	r.ins = s.c.Inputs()
+
+	// Cycle 0: reset vector, applied to everything.
+	resetVec := make(sim.Vector, len(r.ins))
+	for i, p := range r.ins {
+		if p.Name == ResetInputName {
+			resetVec[i] = bitvec.New(1, p.Width)
+		} else {
+			resetVec[i] = bitvec.Zero(p.Width)
+		}
+	}
+	s.orig.Reset()
+	for _, lm := range r.all {
+		lm.sim.Reset()
+	}
+	if s.fsim != nil {
+		s.fsim.Reset()
+	}
+	if err := r.stepAll(resetVec); err != nil {
+		return nil, err
+	}
+	r.res.Seq = append(r.res.Seq, resetVec)
+	if err := r.faultAppend(sim.Sequence{resetVec}, false); err != nil {
+		return nil, err
+	}
+
+	if r.o.Mode == Greedy {
+		if err := r.greedy(); err != nil {
+			return nil, err
+		}
+		return r.res, nil
+	}
+
+	// PerMutant: every target gets a dedicated search for a killing
+	// segment from the current stream state, whether or not an earlier
+	// segment killed it collaterally (PerMutantSkip skips those).
+	// Candidates are first screened against the target alone (cheap);
+	// only qualifying segments pay for full collateral scoring (used as
+	// the tie-break).
+	for ti := range targets {
+		if len(r.res.Seq) >= r.o.MaxLen {
+			break
+		}
+		if r.o.Mode == PerMutantSkip && r.res.Killed[ti] {
+			r.o.Report(ti+1, len(targets))
+			continue
+		}
+		target := r.all[ti]
+		found := false
+		for round := 0; round < r.o.MaxStall && !found && len(r.res.Seq) < r.o.MaxLen; round++ {
+			if err := r.cancelled(); err != nil {
+				return nil, err
+			}
+			r.res.Rounds++
+			var bestSeg sim.Sequence
+			bestKills := -1
+			for ci := 0; ci < r.o.Candidates; ci++ {
+				seg := r.newSegment()
+				origOuts, err := r.origOutputs(seg)
+				if err != nil {
+					return nil, err
+				}
+				hits, err := r.segKills(target, seg, origOuts)
+				if err != nil {
+					return nil, err
+				}
+				if !hits {
+					continue
+				}
+				kills, err := r.scoreCandidate(seg, origOuts)
+				if err != nil {
+					return nil, err
+				}
+				if kills > bestKills {
+					bestSeg, bestKills = seg, kills
+				}
+			}
+			if bestSeg != nil {
+				if err := r.appendSegment(bestSeg); err != nil {
+					return nil, err
+				}
+				found = true
+			}
+		}
+		r.o.Report(ti+1, len(targets))
+	}
+	return r.res, nil
+}
+
+// greedy maximizes fresh kills per appended segment (best of Candidates).
+func (r *genRun) greedy() error {
+	stall := 0
+	for r.liveCount() > 0 && len(r.res.Seq) < r.o.MaxLen && stall < r.o.MaxStall {
+		if err := r.cancelled(); err != nil {
+			return err
+		}
+		r.res.Rounds++
+		var bestSeg sim.Sequence
+		bestKills := 0
+		for ci := 0; ci < r.o.Candidates; ci++ {
+			seg := r.newSegment()
+			origOuts, err := r.origOutputs(seg)
+			if err != nil {
+				return err
+			}
+			kills, err := r.scoreCandidate(seg, origOuts)
+			if err != nil {
+				return err
+			}
+			if kills > bestKills || bestSeg == nil {
+				bestSeg, bestKills = seg, kills
+			}
+		}
+		if bestKills == 0 {
+			stall++
+			continue
+		}
+		stall = 0
+		if err := r.appendSegment(bestSeg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *genRun) cancelled() error {
+	if err := r.o.Cancelled(); err != nil {
+		return fmt.Errorf("tpg: %w", err)
+	}
+	return nil
+}
+
+// stepAll advances the original and every target simulator (killed
+// targets keep stepping so later dedicated segments see true state).
+func (r *genRun) stepAll(v sim.Vector) error {
+	want, err := r.s.orig.Step(v)
+	if err != nil {
+		return err
+	}
+	for _, lm := range r.all {
+		got, err := lm.sim.Step(v)
+		if err != nil {
+			return err
+		}
+		if vectorsDiffer(want, got) {
+			r.res.Killed[lm.idx] = true
+		}
+	}
+	return nil
+}
+
+func (r *genRun) randVec() sim.Vector {
+	v := make(sim.Vector, len(r.ins))
+	for i, p := range r.ins {
+		if p.Name == ResetInputName {
+			v[i] = bitvec.Zero(p.Width)
+			continue
+		}
+		v[i] = bitvec.New(r.rng.Uint64(), p.Width)
+	}
+	return v
+}
+
+// origOutputs simulates a candidate segment on the original from the
+// current state (restored afterwards) and returns its outputs.
+func (r *genRun) origOutputs(seg sim.Sequence) ([]sim.Vector, error) {
+	snap := r.s.orig.Snapshot()
+	outs := make([]sim.Vector, len(seg))
+	for k, v := range seg {
+		out, err := r.s.orig.Step(v)
+		if err != nil {
+			return nil, err
+		}
+		outs[k] = out
+	}
+	r.s.orig.Restore(snap)
+	return outs, nil
+}
+
+// segKills simulates the segment on one live mutant (state restored)
+// and reports whether its outputs diverge from the original's.
+func (r *genRun) segKills(lm *liveMutant, seg sim.Sequence, origOuts []sim.Vector) (bool, error) {
+	snap := lm.sim.Snapshot()
+	defer lm.sim.Restore(snap)
+	for k, v := range seg {
+		got, err := lm.sim.Step(v)
+		if err != nil {
+			return false, err
+		}
+		if vectorsDiffer(origOuts[k], got) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// scoreCandidate counts fresh (still-live) kills for a candidate.
+func (r *genRun) scoreCandidate(seg sim.Sequence, origOuts []sim.Vector) (int, error) {
+	kills := 0
+	for _, lm := range r.all {
+		if r.res.Killed[lm.idx] {
+			continue
+		}
+		k, err := r.segKills(lm, seg, origOuts)
+		if err != nil {
+			return 0, err
+		}
+		if k {
+			kills++
+		}
+	}
+	return kills, nil
+}
+
+func (r *genRun) liveCount() int {
+	n := 0
+	for _, k := range r.res.Killed {
+		if !k {
+			n++
+		}
+	}
+	return n
+}
+
+func (r *genRun) newSegment() sim.Sequence {
+	segLen := min(r.o.SegmentLen, r.o.MaxLen-len(r.res.Seq))
+	seg := make(sim.Sequence, segLen)
+	for k := range seg {
+		seg[k] = r.randVec()
+	}
+	return seg
+}
+
+// appendSegment commits an accepted segment: the original and every
+// target machine advance through it, the sequence grows, and — when a
+// fault simulator is attached — the segment is appended incrementally
+// and the round's cumulative coverage recorded.
+func (r *genRun) appendSegment(seg sim.Sequence) error {
+	for _, v := range seg {
+		if err := r.stepAll(v); err != nil {
+			return err
+		}
+		r.res.Seq = append(r.res.Seq, v)
+	}
+	r.res.Segments = append(r.res.Segments, len(r.res.Seq))
+	return r.faultAppend(seg, true)
+}
+
+// faultAppend extends the attached fault simulator (if any) with the
+// given cycles; boundary marks an accepted-segment boundary whose
+// cumulative coverage is recorded in RoundCoverage.
+func (r *genRun) faultAppend(seg sim.Sequence, boundary bool) error {
+	if r.s.fsim == nil {
+		return nil
+	}
+	fres, err := r.s.fsim.Append(ToPatterns(r.s.c, seg))
+	if err != nil {
+		return fmt.Errorf("tpg: fault sim: %w", err)
+	}
+	r.res.FaultSim = fres
+	if boundary {
+		r.res.RoundCoverage = append(r.res.RoundCoverage, fres.Coverage())
+	}
+	return nil
+}

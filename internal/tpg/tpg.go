@@ -10,11 +10,10 @@
 package tpg
 
 import (
-	"errors"
-	"fmt"
 	"math/rand"
 
 	"repro/internal/bitvec"
+	"repro/internal/engine"
 	"repro/internal/faultsim"
 	"repro/internal/hdl"
 	"repro/internal/mutation"
@@ -110,8 +109,15 @@ const (
 	Greedy
 )
 
-// Options tunes the mutation-driven generator.
+// Options tunes the mutation-driven generator. It embeds the shared
+// engine surface (engine.Options): Workers sizes the mutant batch
+// compilation pool, Ctx cancels a running generation between candidate
+// rounds, and Progress reports completed targets for the per-mutant
+// disciplines. LaneWords has no effect here — candidate scoring is
+// per-machine, not lane-packed.
 type Options struct {
+	engine.Options
+
 	// Mode selects the generation discipline (default PerMutant).
 	Mode Mode
 	// Seed drives all pseudo-random choices.
@@ -152,6 +158,7 @@ func (o *Options) withDefaults(sequential bool) Options {
 		out.MaxStall = o.MaxStall
 	}
 	out.Seed = o.Seed
+	out.Options = o.Options
 	return out
 }
 
@@ -164,12 +171,17 @@ type Result struct {
 	Killed []bool
 	// Rounds is the number of greedy rounds executed.
 	Rounds int
-}
-
-// liveMutant tracks one target mutant's machine during generation.
-type liveMutant struct {
-	idx int
-	sim *sim.Machine
+	// Segments lists the sequence length after each accepted segment —
+	// the round boundaries of the campaign.
+	Segments []int
+	// FaultSim is the cumulative gate-level result of the attached
+	// incremental fault simulator (nil unless the generating Session had
+	// one, see Session.AttachFaultSim): identical to one-shot
+	// fault-simulating Seq, but maintained round by round.
+	FaultSim *faultsim.Result
+	// RoundCoverage is the fault coverage after each accepted segment,
+	// parallel to Segments (nil without an attached fault simulator).
+	RoundCoverage []float64
 }
 
 // KilledCount returns the number of killed target mutants.
@@ -190,246 +202,17 @@ func (r *Result) KilledCount() int {
 // collaterally, which makes the data value-rich per sampled mutant. In
 // Greedy mode each appended segment maximizes fresh kills and collaterally
 // killed mutants are skipped, yielding near-minimal sequences.
+//
+// MutationTests is the one-shot convenience over Session: it compiles
+// the targets, runs one campaign and discards the compilation. Callers
+// that generate repeatedly against one population (different samples,
+// seeds or disciplines) should hold a Session instead.
 func MutationTests(c *hdl.Circuit, targets []*mutation.Mutant, opts *Options) (*Result, error) {
-	o := opts.withDefaults(len(c.Regs) > 0 || len(c.AssignedSignals(hdl.Seq)) > 0)
-	rng := rand.New(rand.NewSource(o.Seed))
-
-	// The search below steps the original plus every target on each
-	// candidate segment, so the per-cycle cost dominates generation;
-	// compiled machines replace the AST interpreter on this path.
-	origProg, err := sim.Compile(c)
+	s, err := NewSession(c, targets, opts)
 	if err != nil {
 		return nil, err
 	}
-	orig := origProg.NewMachine()
-	cs := make([]*hdl.Circuit, len(targets))
-	for i, m := range targets {
-		cs[i] = m.Circuit
-	}
-	progs, err := sim.CompileBatch(cs, 0)
-	if err != nil {
-		var be *sim.BatchError
-		if errors.As(err, &be) {
-			return nil, fmt.Errorf("tpg: mutant %d: %w", be.Index, be.Err)
-		}
-		return nil, fmt.Errorf("tpg: %w", err)
-	}
-	all := make([]*liveMutant, 0, len(targets))
-	for i, p := range progs {
-		all = append(all, &liveMutant{idx: i, sim: p.NewMachine()})
-	}
-
-	res := &Result{Killed: make([]bool, len(targets))}
-	ins := c.Inputs()
-
-	// Cycle 0: reset vector, applied to everything.
-	resetVec := make(sim.Vector, len(ins))
-	for i, p := range ins {
-		if p.Name == ResetInputName {
-			resetVec[i] = bitvec.New(1, p.Width)
-		} else {
-			resetVec[i] = bitvec.Zero(p.Width)
-		}
-	}
-	orig.Reset()
-	for _, lm := range all {
-		lm.sim.Reset()
-	}
-	// stepAll advances the original and every target simulator (killed
-	// targets keep stepping so later dedicated segments see true state).
-	stepAll := func(v sim.Vector) error {
-		want, err := orig.Step(v)
-		if err != nil {
-			return err
-		}
-		for _, lm := range all {
-			got, err := lm.sim.Step(v)
-			if err != nil {
-				return err
-			}
-			if vectorsDiffer(want, got) {
-				res.Killed[lm.idx] = true
-			}
-		}
-		return nil
-	}
-	if err := stepAll(resetVec); err != nil {
-		return nil, err
-	}
-	res.Seq = append(res.Seq, resetVec)
-
-	randVec := func() sim.Vector {
-		v := make(sim.Vector, len(ins))
-		for i, p := range ins {
-			if p.Name == ResetInputName {
-				v[i] = bitvec.Zero(p.Width)
-				continue
-			}
-			v[i] = bitvec.New(rng.Uint64(), p.Width)
-		}
-		return v
-	}
-
-	// origOutputs simulates a candidate segment on the original from the
-	// current state (restored afterwards) and returns its outputs.
-	origOutputs := func(seg sim.Sequence) ([]sim.Vector, error) {
-		snap := orig.Snapshot()
-		outs := make([]sim.Vector, len(seg))
-		for k, v := range seg {
-			out, err := orig.Step(v)
-			if err != nil {
-				return nil, err
-			}
-			outs[k] = out
-		}
-		orig.Restore(snap)
-		return outs, nil
-	}
-
-	// segKills simulates the segment on one live mutant (state restored)
-	// and reports whether its outputs diverge from the original's.
-	segKills := func(lm *liveMutant, seg sim.Sequence, origOuts []sim.Vector) (bool, error) {
-		snap := lm.sim.Snapshot()
-		defer lm.sim.Restore(snap)
-		for k, v := range seg {
-			got, err := lm.sim.Step(v)
-			if err != nil {
-				return false, err
-			}
-			if vectorsDiffer(origOuts[k], got) {
-				return true, nil
-			}
-		}
-		return false, nil
-	}
-
-	// scoreCandidate counts fresh (still-live) kills for a candidate.
-	scoreCandidate := func(seg sim.Sequence, origOuts []sim.Vector) (int, error) {
-		kills := 0
-		for _, lm := range all {
-			if res.Killed[lm.idx] {
-				continue
-			}
-			k, err := segKills(lm, seg, origOuts)
-			if err != nil {
-				return 0, err
-			}
-			if k {
-				kills++
-			}
-		}
-		return kills, nil
-	}
-
-	liveCount := func() int {
-		n := 0
-		for _, k := range res.Killed {
-			if !k {
-				n++
-			}
-		}
-		return n
-	}
-
-	newSegment := func() sim.Sequence {
-		segLen := min(o.SegmentLen, o.MaxLen-len(res.Seq))
-		seg := make(sim.Sequence, segLen)
-		for k := range seg {
-			seg[k] = randVec()
-		}
-		return seg
-	}
-
-	appendSegment := func(seg sim.Sequence) error {
-		for _, v := range seg {
-			if err := stepAll(v); err != nil {
-				return err
-			}
-			res.Seq = append(res.Seq, v)
-		}
-		return nil
-	}
-
-	if o.Mode == Greedy {
-		stall := 0
-		for liveCount() > 0 && len(res.Seq) < o.MaxLen && stall < o.MaxStall {
-			res.Rounds++
-			var bestSeg sim.Sequence
-			bestKills := 0
-			for ci := 0; ci < o.Candidates; ci++ {
-				seg := newSegment()
-				origOuts, err := origOutputs(seg)
-				if err != nil {
-					return nil, err
-				}
-				kills, err := scoreCandidate(seg, origOuts)
-				if err != nil {
-					return nil, err
-				}
-				if kills > bestKills || bestSeg == nil {
-					bestSeg, bestKills = seg, kills
-				}
-			}
-			if bestKills == 0 {
-				stall++
-				continue
-			}
-			stall = 0
-			if err := appendSegment(bestSeg); err != nil {
-				return nil, err
-			}
-		}
-		return res, nil
-	}
-
-	// PerMutant: every target gets a dedicated search for a killing
-	// segment from the current stream state, whether or not an earlier
-	// segment killed it collaterally. Candidates are first screened
-	// against the target alone (cheap); only qualifying segments pay for
-	// full collateral scoring (used as the tie-break).
-	for ti := range targets {
-		if len(res.Seq) >= o.MaxLen {
-			break
-		}
-		if o.Mode == PerMutantSkip && res.Killed[ti] {
-			continue
-		}
-		target := all[ti]
-		found := false
-		for round := 0; round < o.MaxStall && !found && len(res.Seq) < o.MaxLen; round++ {
-			res.Rounds++
-			var bestSeg sim.Sequence
-			bestKills := -1
-			for ci := 0; ci < o.Candidates; ci++ {
-				seg := newSegment()
-				origOuts, err := origOutputs(seg)
-				if err != nil {
-					return nil, err
-				}
-				hits, err := segKills(target, seg, origOuts)
-				if err != nil {
-					return nil, err
-				}
-				if !hits {
-					continue
-				}
-				kills, err := scoreCandidate(seg, origOuts)
-				if err != nil {
-					return nil, err
-				}
-				if kills > bestKills {
-					bestSeg, bestKills = seg, kills
-				}
-			}
-			if bestSeg != nil {
-				if err := appendSegment(bestSeg); err != nil {
-					return nil, err
-				}
-				found = true
-			}
-		}
-	}
-	return res, nil
+	return s.Generate(nil, nil)
 }
 
 func vectorsDiffer(a, b sim.Vector) bool {
