@@ -576,6 +576,46 @@ func BenchmarkPODEM(b *testing.B) {
 	}
 }
 
+// benchmarkSeqATPG is the compiled-ATPG ablation pair: full sequential
+// ATPG on b03 (model compile + PODEM over the unrolled twin + drop-sim)
+// at a fixed engine setting. Workers 0 is the production path — compiled
+// dual-rail implications and the incremental reset-per-test drop-sim
+// session; Workers 1 is the legacy path — the three-valued interpreter
+// and a one-shot RunOn per generated test. Both produce identical
+// reports (pinned in atpg and internal/difftest); the ratio is the
+// compiled port's win. MaxBacktracks is capped like the parity tests so
+// aborted targets don't dominate the measurement with search effort both
+// engines share anyway.
+func benchmarkSeqATPG(b *testing.B, workers int) {
+	nl, err := synth.Synthesize(circuits.MustLoad("b03"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := &atpg.SeqOptions{Frames: 4, MaxBacktracks: 96, FillSeed: 3}
+	opts.Workers = workers
+	targets := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := atpg.GenerateSequential(nl, nil, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Detected == 0 {
+			b.Fatal("sequential ATPG detected nothing")
+		}
+		targets = rep.Total
+	}
+	b.ReportMetric(float64(targets*b.N)/b.Elapsed().Seconds(), "targets/s")
+}
+
+// BenchmarkSeqATPGCompiled is compiled ATPG with the batched drop-sim
+// session on b03.
+func BenchmarkSeqATPGCompiled(b *testing.B) { benchmarkSeqATPG(b, 0) }
+
+// BenchmarkSeqATPGLegacy is the legacy interpreter with one-shot
+// per-test drop simulation on b03, kept as the differential baseline.
+func BenchmarkSeqATPGLegacy(b *testing.B) { benchmarkSeqATPG(b, 1) }
+
 func BenchmarkMutationScore(b *testing.B) {
 	c := circuits.MustLoad("b01")
 	ms := mutation.Generate(c)

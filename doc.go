@@ -21,10 +21,23 @@
 // The simulation surface is session-based: faultsim.Simulator.Append
 // extends an applied sequence incrementally (bit-identical to a one-shot
 // Run of the concatenation, simulating only the live fault frontier over
-// the new cycles), and tpg.Session compiles a mutant population once and
-// runs arbitrarily many generation campaigns over its subsets, driving
-// the incremental fault simulator round by round (AttachFaultSim). See
-// the "Sessions and incremental simulation" section of README.md.
+// the new cycles), AppendTest applies independent power-on tests against
+// the same shrinking frontier (the ATPG drop-sim discipline), and
+// tpg.Session compiles a mutant population once and runs arbitrarily
+// many generation campaigns over its subsets, driving the incremental
+// fault simulator round by round (AttachFaultSim). See the "Sessions and
+// incremental simulation" section of README.md.
+//
+// Deterministic ATPG (internal/atpg, PODEM with time-frame expansion)
+// runs on the same compiled machinery: netlist.TriExpand builds a
+// dual-rail twin that encodes three-valued (0/1/X) logic as plain
+// two-valued gates, so one compiled Machine pass evaluates PODEM's good
+// and faulty planes in two lanes, and atpg.Model compiles the (possibly
+// unrolled) circuit once per depth for any number of campaigns. Fault
+// dropping between PODEM targets is an incremental fault-sim session
+// with batch-level retirement. Workers:1 keeps the legacy interpreter +
+// one-shot drop-sim as the differential reference; both engines emit
+// identical test sets (internal/difftest's ATPG parity fuzz).
 //
 // See README.md for the package inventory, build/test/benchmark entry
 // points, the two-engine simulation design and the lane-width guidance,

@@ -4,22 +4,35 @@
 // effort (PODEM calls, backtracks) and the number of top-off vectors
 // compared to running ATPG from scratch.
 //
-//	go run ./examples/atpg_topoff [combinational circuits...]
+// Both the baseline and top-off runs share one compiled ATPG model per
+// circuit (atpg.Model: PODEM's planes on the dual-rail twin machine,
+// fault dropping through an incremental fault-sim session); -legacy
+// switches to the serial reference engine (Workers: 1), which produces
+// the identical tables — that equality is what internal/difftest pins.
+//
+//	go run ./examples/atpg_topoff [-legacy] [combinational circuits...]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
-	"os"
 
 	"repro/internal/circuits"
 	"repro/internal/core"
+	"repro/internal/engine"
 )
 
 func main() {
-	names := os.Args[1:]
+	legacy := flag.Bool("legacy", false, "use the serial reference ATPG engine (Workers: 1)")
+	flag.Parse()
+	names := flag.Args()
 	if len(names) == 0 {
 		names = []string{"c17", "c432", "c499", "c880"}
+	}
+	cfg := core.Config{Seed: 1}
+	if *legacy {
+		cfg.Options = engine.Options{Workers: 1}
 	}
 	var results []*core.TopoffResult
 	for _, name := range names {
@@ -27,7 +40,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		flow, err := core.NewFlow(c, core.Config{Seed: 1})
+		flow, err := core.NewFlow(c, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}

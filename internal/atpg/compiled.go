@@ -1,0 +1,93 @@
+package atpg
+
+import (
+	"repro/internal/lane"
+	"repro/internal/netlist"
+)
+
+// Lane assignment of the two PODEM planes inside one compiled machine
+// pass: the fault-free good plane and the fault-injected faulty plane are
+// just two lanes of the same W=1 word, which is what lets a single
+// instruction-stream pass replace two interpreter sweeps.
+const (
+	goodLane   = 0
+	faultyLane = 1
+)
+
+// compiledSim is the compiled concrete-value backend: the model netlist's
+// dual-rail twin (netlist.TriExpand encodes Kleene three-valued logic as
+// two-valued rails) compiled once into a flat program, and one persistent
+// two-lane machine evaluating both planes per implication. Arming a
+// target translates each fault site into its rail pair and injects it
+// into the faulty lane only; imply is then a single Machine.Eval followed
+// by a rail decode into the engine's gv/fv arrays, which the search reads
+// exactly as it reads the interpreter's.
+type compiledSim struct {
+	e   *search
+	tm  *netlist.TriMap
+	m   *netlist.Machine[lane.W1]
+	pis []lane.W1 // twin PI vectors: rails interleaved in model PI order
+}
+
+func newCompiledSim(e *search) (*compiledSim, error) {
+	twin, tm, err := netlist.TriExpand(e.nl)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := netlist.Compile(twin)
+	if err != nil {
+		return nil, err
+	}
+	return &compiledSim{
+		e:   e,
+		tm:  tm,
+		m:   netlist.NewMachine[lane.W1](prog),
+		pis: make([]lane.W1, len(twin.PIs)),
+	}, nil
+}
+
+func (s *compiledSim) arm(sites []netlist.FaultSite) {
+	s.m.ClearFaults()
+	mask := lane.Bit[lane.W1](faultyLane)
+	for _, st := range sites {
+		for _, ts := range s.tm.FaultSites(s.e.nl, st) {
+			s.m.InjectFault(ts, mask)
+		}
+	}
+}
+
+func (s *compiledSim) imply(assign []tri) {
+	const bothLanes = uint64(1<<goodLane | 1<<faultyLane)
+	for i, v := range assign {
+		var hw, lw uint64
+		switch v {
+		case hi:
+			hw = bothLanes
+		case lo:
+			lw = bothLanes
+		}
+		s.pis[2*i] = lane.W1{hw}
+		s.pis[2*i+1] = lane.W1{lw}
+	}
+	s.m.Eval(s.pis)
+	e := s.e
+	for id := range e.nl.Gates {
+		hv := s.m.Value(s.tm.Hi[id])[0]
+		lv := s.m.Value(s.tm.Lo[id])[0]
+		e.gv[id] = railTri(hv&(1<<goodLane), lv&(1<<goodLane))
+		e.fv[id] = railTri(hv&(1<<faultyLane), lv&(1<<faultyLane))
+	}
+}
+
+// railTri decodes one plane's rail pair: hi rail set means 1, lo rail set
+// means 0, neither means X (both set cannot arise — the twin preserves
+// the rail invariant and fault injection writes consistent pairs).
+func railTri(h, l uint64) tri {
+	if h != 0 {
+		return hi
+	}
+	if l != 0 {
+		return lo
+	}
+	return xx
+}

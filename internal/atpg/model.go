@@ -1,0 +1,243 @@
+package atpg
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/engine"
+	"repro/internal/faultsim"
+	"repro/internal/netlist"
+)
+
+// Model is the reusable ATPG evaluation model for one circuit: the PODEM
+// search structures (levelization, fanout, SCOAP) over the model netlist
+// — the circuit itself for combinational sources, its time-frame
+// expansion for sequential ones — plus, built on first compiled use, the
+// dual-rail twin program the compiled engine evaluates. Compiling is per
+// (netlist, unroll depth), so callers that run several campaigns against
+// one circuit (the top-off experiments run baseline and top-off back to
+// back) build one Model and share everything but the per-call state.
+// A Model is not safe for concurrent use.
+type Model struct {
+	nl     *netlist.Netlist // source circuit
+	um     *netlist.UnrollMap
+	frames int // 0 for combinational models
+	eng    *search
+	comp   *compiledSim // lazily built: TriExpand + Compile of the model netlist
+}
+
+// dropSimConfig projects the ATPG engine options onto the drop-sim
+// session: Workers/LaneWords/Ctx forward, but the progress hook does not
+// — ATPG reports resolved targets on it, and interleaving the inner
+// simulator's batch counts would make one hook carry two incompatible
+// (Done, Total) streams.
+func dropSimConfig(o engine.Options) faultsim.Config {
+	o.Progress = nil
+	return faultsim.Config{Options: o}
+}
+
+// NewModel builds the ATPG model of a combinational netlist.
+func NewModel(nl *netlist.Netlist) (*Model, error) {
+	if nl.IsSequential() {
+		return nil, fmt.Errorf("atpg: sequential netlist %s not supported by the combinational model (use NewSequentialModel)", nl.Name)
+	}
+	eng, err := newSearch(nl)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{nl: nl, eng: eng}, nil
+}
+
+// NewSequentialModel builds the ATPG model of a sequential netlist at the
+// given time-frame expansion depth (8 frames when frames <= 0, matching
+// SeqOptions).
+func NewSequentialModel(nl *netlist.Netlist, frames int) (*Model, error) {
+	if !nl.IsSequential() {
+		return nil, fmt.Errorf("atpg: %s is combinational; use Generate (NewModel)", nl.Name)
+	}
+	if frames <= 0 {
+		frames = 8
+	}
+	unrolled, um, err := netlist.Unroll(nl, frames)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := newSearch(unrolled)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{nl: nl, um: um, frames: frames, eng: eng}, nil
+}
+
+// Frames returns the model's unroll depth (0 for combinational models).
+func (m *Model) Frames() int { return m.frames }
+
+// compiled returns the dual-rail compiled backend, building it on first
+// use so legacy-only runs never pay for the twin compilation.
+func (m *Model) compiled() (*compiledSim, error) {
+	if m.comp == nil {
+		cs, err := newCompiledSim(m.eng)
+		if err != nil {
+			return nil, err
+		}
+		m.comp = cs
+	}
+	return m.comp, nil
+}
+
+// Generate runs combinational PODEM with fault dropping over the model's
+// circuit; see the package function Generate. The fault list defaults to
+// all collapsed faults when nil.
+func (m *Model) Generate(faults []faultsim.Fault, opts *Options) (*Report, error) {
+	if m.frames != 0 {
+		return nil, fmt.Errorf("atpg: %s is a sequential model; use GenerateSequential", m.nl.Name)
+	}
+	o := opts.withDefaults()
+	if faults == nil {
+		faults = faultsim.Faults(m.nl)
+	}
+	if o.Serial() {
+		return m.generateLegacy(faults, o)
+	}
+	return m.generateCompiled(faults, o)
+}
+
+// generateCompiled is the production combinational path: PODEM planes on
+// the compiled twin, fault dropping through an incremental fault-sim
+// session that appends each generated vector and prunes its frontier, so
+// every later vector simulates only still-undetected targets. Targets the
+// search resolves without a vector retire their session lane.
+func (m *Model) generateCompiled(faults []faultsim.Fault, o Options) (*Report, error) {
+	sim, err := m.compiled()
+	if err != nil {
+		return nil, err
+	}
+	sess, err := dropSimConfig(o.Options).New(m.nl, faults)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(o.FillSeed))
+	rep := &Report{Total: len(faults)}
+	alive := make([]bool, len(faults))
+	for i := range alive {
+		alive[i] = true
+	}
+	resolved := 0
+	for fi := range faults {
+		if !alive[fi] {
+			continue
+		}
+		if err := o.Cancelled(); err != nil {
+			return nil, fmt.Errorf("atpg: %w", err)
+		}
+		rep.PodemCalls++
+		cube, backtracks, status := m.eng.podem(sim, []netlist.FaultSite{faults[fi].Site}, o.MaxBacktracks)
+		rep.Backtracks += backtracks
+		if status != statusDetected {
+			if status == statusRedundant {
+				rep.Redundant++
+			} else {
+				rep.Aborted++
+			}
+			alive[fi] = false
+			resolved++
+			if err := sess.Retire(fi); err != nil {
+				return nil, err
+			}
+			o.Report(resolved, len(faults))
+			continue
+		}
+		pat := fillCube(cube, rng)
+		rep.Vectors = append(rep.Vectors, pat)
+		res, err := sess.Append([]faultsim.Pattern{pat})
+		if err != nil {
+			return nil, err
+		}
+		for fj := range faults {
+			if alive[fj] && res.FirstDetected[fj] >= 0 {
+				alive[fj] = false
+				rep.Detected++
+				resolved++
+			}
+		}
+		o.Report(resolved, len(faults))
+	}
+	return rep, nil
+}
+
+// generateLegacy is the serial reference combinational path: interpreter
+// planes and a one-shot single-pattern drop simulation per vector on a
+// shared Evaluator pair, exactly the pre-compiled shape.
+func (m *Model) generateLegacy(faults []faultsim.Fault, o Options) (*Report, error) {
+	rng := rand.New(rand.NewSource(o.FillSeed))
+	rep := &Report{Total: len(faults)}
+	alive := make([]bool, len(faults))
+	for i := range alive {
+		alive[i] = true
+	}
+	dropEval, err := netlist.NewEvaluator(m.nl)
+	if err != nil {
+		return nil, err
+	}
+	goodEval, err := netlist.NewEvaluator(m.nl)
+	if err != nil {
+		return nil, err
+	}
+	sim := interpSim{m.eng}
+	resolved := 0
+	for fi := range faults {
+		if !alive[fi] {
+			continue
+		}
+		if err := o.Cancelled(); err != nil {
+			return nil, fmt.Errorf("atpg: %w", err)
+		}
+		rep.PodemCalls++
+		cube, backtracks, status := m.eng.podem(sim, []netlist.FaultSite{faults[fi].Site}, o.MaxBacktracks)
+		rep.Backtracks += backtracks
+		switch status {
+		case statusRedundant:
+			rep.Redundant++
+			alive[fi] = false
+			resolved++
+			o.Report(resolved, len(faults))
+			continue
+		case statusAborted:
+			rep.Aborted++
+			alive[fi] = false
+			resolved++
+			o.Report(resolved, len(faults))
+			continue
+		}
+		// Fill don't-cares randomly and drop everything the vector catches.
+		pat := fillCube(cube, rng)
+		rep.Vectors = append(rep.Vectors, pat)
+		words := make([]uint64, len(m.nl.PIs))
+		for i, v := range pat {
+			if v != 0 {
+				words[i] = ^uint64(0)
+			}
+		}
+		goodOut, err := goodEval.Eval(words)
+		if err != nil {
+			return nil, err
+		}
+		goodCopy := append([]uint64(nil), goodOut...)
+		for fj := range faults {
+			if !alive[fj] {
+				continue
+			}
+			badOut := dropEval.EvalWith(words, faults[fj].Site, ^uint64(0))
+			for po := range badOut {
+				if badOut[po] != goodCopy[po] {
+					alive[fj] = false
+					rep.Detected++
+					resolved++
+					break
+				}
+			}
+		}
+		o.Report(resolved, len(faults))
+	}
+	return rep, nil
+}

@@ -1,0 +1,88 @@
+package atpg
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/circuits"
+	"repro/internal/engine"
+	"repro/internal/faultsim"
+	"repro/internal/synth"
+)
+
+// TestGenerateParityBenchmarks pins the compiled combinational engine to
+// the legacy path on the paper's benchmark circuits: identical vectors
+// and effort counters. The difftest fuzz covers the random-circuit
+// space; this is the named-circuit anchor.
+func TestGenerateParityBenchmarks(t *testing.T) {
+	for _, tc := range []struct {
+		name       string
+		backtracks int // 0 = default; capped where aborts dominate runtime
+	}{
+		{"c17", 0}, {"c432", 128},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			nl, err := synth.Synthesize(circuits.MustLoad(tc.name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			legacy, err := Generate(nl, nil, &Options{MaxBacktracks: tc.backtracks,
+				FillSeed: 7, Options: engine.Options{Workers: 1}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			compiled, err := Generate(nl, nil, &Options{MaxBacktracks: tc.backtracks, FillSeed: 7})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(compiled, legacy) {
+				t.Fatalf("engines disagree:\ncompiled %+v\nlegacy   %+v", compiled, legacy)
+			}
+		})
+	}
+}
+
+// TestGenerateSequentialParityBenchmarks is the sequential anchor: the
+// compiled dual-rail engine with the incremental reset-per-test drop-sim
+// session must reproduce the legacy interpreter with one-shot drops on
+// every sequential benchmark circuit, test set and all.
+func TestGenerateSequentialParityBenchmarks(t *testing.T) {
+	for _, tc := range []struct {
+		name       string
+		frames     int
+		backtracks int // 0 = default; capped where aborts dominate runtime
+	}{
+		{"b01", 6, 48}, {"b02", 6, 0}, {"b03", 4, 48}, {"b06", 4, 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			nl, err := synth.Synthesize(circuits.MustLoad(tc.name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := func(workers int) *SeqOptions {
+				return &SeqOptions{Frames: tc.frames, MaxBacktracks: tc.backtracks,
+					FillSeed: 3, Options: engine.Options{Workers: workers}}
+			}
+			legacy, err := GenerateSequential(nl, nil, opts(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			compiled, err := GenerateSequential(nl, nil, opts(0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(compiled, legacy) {
+				t.Fatalf("engines disagree:\ncompiled %+v\nlegacy   %+v", compiled, legacy)
+			}
+			// The reported coverage must replay: simulate the generated
+			// test set independently.
+			cov, err := RunTestSet(nl, faultsim.Faults(nl), compiled.Tests)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cov < compiled.Coverage() {
+				t.Errorf("replayed coverage %.3f < reported %.3f", cov, compiled.Coverage())
+			}
+		})
+	}
+}

@@ -1,7 +1,21 @@
 // Package atpg implements deterministic test pattern generation for
-// combinational netlists using the PODEM algorithm (Goel 1981): PI-only
-// decisions, objective/backtrace guidance and bounded backtracking, on a
-// two-plane (good machine / faulty machine) three-valued simulation.
+// combinational and (via time-frame expansion) sequential netlists using
+// the PODEM algorithm (Goel 1981): PI-only decisions, objective/backtrace
+// guidance and bounded backtracking, on a two-plane (good machine / faulty
+// machine) three-valued simulation.
+//
+// The concrete-value simulation behind PODEM's implication step runs on
+// either of two engines, selected like everywhere else in this repository
+// by the shared engine.Options surface: Workers == 1 keeps the legacy
+// serial path — a per-gate three-valued interpreter over the model
+// netlist, plus one-shot per-fault drop simulation — as the differential
+// reference, and every other setting evaluates both planes in one pass of
+// a compiled dual-rail machine (netlist.TriExpand + netlist.Compile; good
+// plane in lane 0, faulty plane in lane 1) and drives an incremental
+// faultsim.Simulator session for fault dropping between targets. The
+// decision logic (objective, backtrace, backtracking) stays three-valued
+// and engine-independent, so both engines generate identical test sets —
+// internal/difftest fuzzes that pin.
 //
 // The paper's motivation is that mutation-derived validation data can be
 // applied as a free pre-test before ATPG, reducing deterministic
@@ -10,9 +24,9 @@
 package atpg
 
 import (
-	"fmt"
 	"math/rand"
 
+	"repro/internal/engine"
 	"repro/internal/faultsim"
 	"repro/internal/netlist"
 	"repro/internal/scoap"
@@ -36,6 +50,13 @@ type Options struct {
 	MaxBacktracks int
 	// FillSeed seeds the random fill of don't-care PI positions.
 	FillSeed int64
+	// Options is the shared engine surface (see the package comment):
+	// Workers == 1 selects the legacy serial reference — the three-valued
+	// interpreter plus one-shot drop simulation — and every other setting
+	// runs the compiled dual-rail engine with an incremental drop-sim
+	// session, forwarding Workers/LaneWords to it. Results are identical
+	// for every setting.
+	engine.Options
 }
 
 func (o *Options) withDefaults() Options {
@@ -45,6 +66,7 @@ func (o *Options) withDefaults() Options {
 			out.MaxBacktracks = o.MaxBacktracks
 		}
 		out.FillSeed = o.FillSeed
+		out.Options = o.Options
 	}
 	return out
 }
@@ -72,96 +94,36 @@ func (r *Report) Coverage() float64 {
 // Generate runs PODEM over every fault in faults (all collapsed faults of
 // nl when nil), with fault dropping: each generated vector is fault
 // simulated against the remaining targets. Sequential netlists are
-// rejected; the flow applies ATPG to combinational circuits (and to the
-// combinational core of sequential ones, which is how the experiments use
-// it).
+// rejected; use GenerateSequential (or extract the combinational core).
+// It compiles a fresh model per call; use NewModel when several runs
+// share a circuit.
 func Generate(nl *netlist.Netlist, faults []faultsim.Fault, opts *Options) (*Report, error) {
-	if nl.IsSequential() {
-		return nil, fmt.Errorf("atpg: sequential netlist %s not supported (extract the combinational core first)", nl.Name)
-	}
-	o := opts.withDefaults()
-	if faults == nil {
-		faults = faultsim.Faults(nl)
-	}
-	eng, err := newEngine(nl)
+	m, err := NewModel(nl)
 	if err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(o.FillSeed))
-	rep := &Report{Total: len(faults)}
-	alive := make([]bool, len(faults))
-	for i := range alive {
-		alive[i] = true
-	}
-	// Single-pattern drop simulation shares one evaluator.
-	dropEval, err := netlist.NewEvaluator(nl)
-	if err != nil {
-		return nil, err
-	}
-	goodEval, err := netlist.NewEvaluator(nl)
-	if err != nil {
-		return nil, err
-	}
-
-	for fi := range faults {
-		if !alive[fi] {
-			continue
-		}
-		rep.PodemCalls++
-		cube, backtracks, status := eng.podem([]netlist.FaultSite{faults[fi].Site}, o.MaxBacktracks)
-		rep.Backtracks += backtracks
-		switch status {
-		case statusRedundant:
-			rep.Redundant++
-			alive[fi] = false
-			continue
-		case statusAborted:
-			rep.Aborted++
-			alive[fi] = false
-			continue
-		}
-		// Fill don't-cares randomly and drop everything the vector catches.
-		pat := make(faultsim.Pattern, len(nl.PIs))
-		for i, v := range cube {
-			switch v {
-			case lo:
-				pat[i] = 0
-			case hi:
-				pat[i] = 1
-			default:
-				pat[i] = uint8(rng.Intn(2))
-			}
-		}
-		rep.Vectors = append(rep.Vectors, pat)
-		words := make([]uint64, len(nl.PIs))
-		for i, v := range pat {
-			if v != 0 {
-				words[i] = ^uint64(0)
-			}
-		}
-		goodOut, err := goodEval.Eval(words)
-		if err != nil {
-			return nil, err
-		}
-		goodCopy := append([]uint64(nil), goodOut...)
-		for fj := range faults {
-			if !alive[fj] {
-				continue
-			}
-			badOut := dropEval.EvalWith(words, faults[fj].Site, ^uint64(0))
-			for po := range badOut {
-				if badOut[po] != goodCopy[po] {
-					alive[fj] = false
-					rep.Detected++
-					break
-				}
-			}
-		}
-	}
-	return rep, nil
+	return m.Generate(faults, opts)
 }
 
-// --- PODEM engine ------------------------------------------------------------
+// fillCube turns a three-valued PI cube into a concrete pattern, filling
+// don't-care positions from rng (one draw per X, in PI order — part of
+// the engines' determinism pin).
+func fillCube(cube []tri, rng *rand.Rand) faultsim.Pattern {
+	pat := make(faultsim.Pattern, len(cube))
+	for i, v := range cube {
+		switch v {
+		case lo:
+			pat[i] = 0
+		case hi:
+			pat[i] = 1
+		default:
+			pat[i] = uint8(rng.Intn(2))
+		}
+	}
+	return pat
+}
+
+// --- PODEM search engine -----------------------------------------------------
 
 type podemStatus int
 
@@ -171,7 +133,22 @@ const (
 	statusAborted
 )
 
-type engine struct {
+// planeSim is the concrete-value simulation backend PODEM runs on: arm
+// installs a target's fault sites for the coming search, and imply
+// forward-simulates both planes for the current PI assignment, leaving
+// three-valued results in the engine's gv (good) and fv (faulty) arrays.
+// Implementations must agree bit for bit — the search takes every
+// decision by reading those arrays.
+type planeSim interface {
+	arm(sites []netlist.FaultSite)
+	imply(assign []tri)
+}
+
+// search holds the PODEM search state over the model netlist (the
+// circuit itself, or its time-frame expansion): structural guidance
+// (levels, fanout, SCOAP controllabilities) plus the per-search value
+// planes the active planeSim fills.
+type search struct {
 	nl    *netlist.Netlist
 	order []int // combinational evaluation order
 	gv    []tri // good-plane values per gate
@@ -181,16 +158,18 @@ type engine struct {
 	level []int
 	// cc holds SCOAP controllabilities guiding the backtrace.
 	cc *scoap.Measures
-	// siteAt indexes the current fault's sites by gate for imply/objective.
+	// sites and siteAt describe the armed target: the current fault's
+	// sites, indexed by gate for imply/objective.
+	sites  []netlist.FaultSite
 	siteAt map[int]netlist.FaultSite
 }
 
-func newEngine(nl *netlist.Netlist) (*engine, error) {
+func newSearch(nl *netlist.Netlist) (*search, error) {
 	order, err := nl.Levelize()
 	if err != nil {
 		return nil, err
 	}
-	e := &engine{
+	e := &search{
 		nl:     nl,
 		order:  order,
 		gv:     make([]tri, len(nl.Gates)),
@@ -235,9 +214,19 @@ type decision struct {
 
 // podem searches for a test cube for a fault occupying one or more sites
 // (a single site for combinational ATPG; one copy per time frame for the
-// unrolled sequential flow). It returns the PI cube (tri per PI, in PI
-// order), the number of backtracks, and the outcome.
-func (e *engine) podem(sites []netlist.FaultSite, maxBacktracks int) ([]tri, int, podemStatus) {
+// unrolled sequential flow), running its implications on sim. It returns
+// the PI cube (tri per PI, in PI order), the number of backtracks, and
+// the outcome.
+func (e *search) podem(sim planeSim, sites []netlist.FaultSite, maxBacktracks int) ([]tri, int, podemStatus) {
+	e.sites = sites
+	for id := range e.siteAt {
+		delete(e.siteAt, id)
+	}
+	for _, st := range sites {
+		e.siteAt[st.Gate] = st
+	}
+	sim.arm(sites)
+
 	assign := make([]tri, len(e.nl.PIs))
 	for i := range assign {
 		assign[i] = xx
@@ -246,11 +235,11 @@ func (e *engine) podem(sites []netlist.FaultSite, maxBacktracks int) ([]tri, int
 	backtracks := 0
 
 	for {
-		e.imply(assign, sites)
+		sim.imply(assign)
 		if e.detected() {
 			return assign, backtracks, statusDetected
 		}
-		objGate, objVal, ok := e.objective(sites)
+		objGate, objVal, ok := e.objective()
 		if ok {
 			pi, v := e.backtrace(objGate, objVal)
 			if pi >= 0 {
@@ -283,10 +272,19 @@ func (e *engine) podem(sites []netlist.FaultSite, maxBacktracks int) ([]tri, int
 	}
 }
 
-// imply forward-simulates both planes in three-valued logic with the fault
-// injected into the faulty plane at every site. At most one site may
-// occupy a given gate (guaranteed by construction: one copy per frame).
-func (e *engine) imply(assign []tri, sites []netlist.FaultSite) {
+// interpSim is the legacy serial reference backend: a per-gate
+// three-valued interpreter over the model netlist, with the armed fault
+// injected into the faulty plane at every site. Kept (behind Workers ==
+// 1) as the differential baseline for the compiled dual-rail engine.
+type interpSim struct{ e *search }
+
+func (s interpSim) arm([]netlist.FaultSite) {}
+
+// imply forward-simulates both planes in three-valued logic. At most one
+// site may occupy a given gate (guaranteed by construction: one copy per
+// frame).
+func (s interpSim) imply(assign []tri) {
+	e := s.e
 	nl := e.nl
 	for id := range nl.Gates {
 		e.gv[id] = xx
@@ -304,14 +302,8 @@ func (e *engine) imply(assign []tri, sites []netlist.FaultSite) {
 			e.gv[g.ID], e.fv[g.ID] = hi, hi
 		}
 	}
-	for id := range e.siteAt {
-		delete(e.siteAt, id)
-	}
-	for _, st := range sites {
-		e.siteAt[st.Gate] = st
-	}
 	// Output faults on PIs or constants apply before gate evaluation.
-	for _, st := range sites {
+	for _, st := range e.sites {
 		if st.Pin < 0 && !nl.Gates[st.Gate].Type.IsComb() {
 			e.fv[st.Gate] = tri(st.Stuck)
 		}
@@ -404,7 +396,7 @@ func notTri(t tri) tri {
 }
 
 // detected reports whether any PO shows a definite good/faulty difference.
-func (e *engine) detected() bool {
+func (e *search) detected() bool {
 	for _, id := range e.nl.POs {
 		g, f := e.gv[id], e.fv[id]
 		if g != xx && f != xx && g != f {
@@ -419,11 +411,11 @@ func (e *engine) detected() bool {
 // D-frontier. For branch faults the D lives on the faulted gate's pin
 // (the driver net itself is healthy), so the pin's effective faulty value
 // is the stuck value, not the driver's.
-func (e *engine) objective(sites []netlist.FaultSite) (int, tri, bool) {
+func (e *search) objective() (int, tri, bool) {
 	anyActivated := false
 	var pendingNet = -1
 	var pendingVal tri
-	for _, site := range sites {
+	for _, site := range e.sites {
 		siteNet := site.Gate
 		if site.Pin >= 0 {
 			siteNet = e.nl.Gates[site.Gate].Fanin[site.Pin]
@@ -494,7 +486,7 @@ func nonControlling(t netlist.GateType) tri {
 // backtrace maps an objective to a PI assignment by walking X-valued nets
 // backwards, flipping the goal through inverting gates. It returns -1 when
 // the objective is unreachable (no X input anywhere on the way).
-func (e *engine) backtrace(gate int, val tri) (int, tri) {
+func (e *search) backtrace(gate int, val tri) (int, tri) {
 	id, v := gate, val
 	for {
 		g := e.nl.Gates[id]

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/engine"
 	"repro/internal/faultsim"
 	"repro/internal/netlist"
 )
@@ -11,7 +12,9 @@ import (
 // SeqOptions tunes sequential ATPG.
 type SeqOptions struct {
 	// Frames is the time-frame expansion depth: each test is a sequence of
-	// this many cycles applied from power-on. Default 8.
+	// this many cycles applied from power-on. Default 8. A Model carries
+	// its own depth; passing a different non-zero Frames to a model run is
+	// an error.
 	Frames int
 	// MaxBacktracks bounds the PODEM search per fault. The sequential
 	// default is 1024 (lower than combinational ATPG's 4096): most of the
@@ -20,6 +23,14 @@ type SeqOptions struct {
 	MaxBacktracks int
 	// FillSeed seeds random fill of don't-care positions.
 	FillSeed int64
+	// Options is the shared engine surface, with the same semantics as
+	// atpg.Options: Workers == 1 is the legacy path (three-valued
+	// interpreter implications, one-shot per-test drop simulation —
+	// exactly the pre-port shape, drop-sim engine included), anything
+	// else the compiled dual-rail engine with an incremental
+	// reset-per-test drop-sim session. Results are identical for every
+	// setting.
+	engine.Options
 }
 
 func (o *SeqOptions) withDefaults() SeqOptions {
@@ -32,6 +43,7 @@ func (o *SeqOptions) withDefaults() SeqOptions {
 			out.MaxBacktracks = o.MaxBacktracks
 		}
 		out.FillSeed = o.FillSeed
+		out.Options = o.Options
 	}
 	return out
 }
@@ -74,31 +86,137 @@ func (r *SeqReport) TotalCycles() int {
 // frames — i.e., an input sequence — that propagates the fault to some
 // frame's outputs. Faults the search proves undetectable are only
 // undetectable *within the horizon* and are reported as Untestable rather
-// than redundant.
+// than redundant. It compiles a fresh model per call; use
+// NewSequentialModel when several runs share a (netlist, depth) pair.
 func GenerateSequential(nl *netlist.Netlist, faults []faultsim.Fault, opts *SeqOptions) (*SeqReport, error) {
-	if !nl.IsSequential() {
-		return nil, fmt.Errorf("atpg: %s is combinational; use Generate", nl.Name)
+	o := opts.withDefaults()
+	m, err := NewSequentialModel(nl, o.Frames)
+	if err != nil {
+		return nil, err
+	}
+	return m.GenerateSequential(faults, opts)
+}
+
+// GenerateSequential runs sequential ATPG on the model's circuit at the
+// model's unroll depth; see the package function. The fault list defaults
+// to all collapsed faults when nil.
+func (m *Model) GenerateSequential(faults []faultsim.Fault, opts *SeqOptions) (*SeqReport, error) {
+	if m.frames == 0 {
+		return nil, fmt.Errorf("atpg: %s is a combinational model; use Generate", m.nl.Name)
+	}
+	if opts != nil && opts.Frames > 0 && opts.Frames != m.frames {
+		return nil, fmt.Errorf("atpg: model unrolled to %d frames, options ask for %d", m.frames, opts.Frames)
 	}
 	o := opts.withDefaults()
+	o.Frames = m.frames
 	if faults == nil {
-		faults = faultsim.Faults(nl)
+		faults = faultsim.Faults(m.nl)
 	}
-	unrolled, um, err := netlist.Unroll(nl, o.Frames)
-	if err != nil {
-		return nil, err
+	if o.Serial() {
+		return m.generateSeqLegacy(faults, o)
 	}
-	eng, err := newEngine(unrolled)
-	if err != nil {
-		return nil, err
-	}
-	// Sequential fault simulation for dropping, one evaluator pair reused.
-	dropSim, err := faultsim.New(nl, faults)
-	if err != nil {
-		return nil, err
-	}
+	return m.generateSeqCompiled(faults, o)
+}
 
+// generateSeqCompiled is the production sequential path: PODEM planes on
+// the compiled twin of the unrolled model, and fault dropping through one
+// incremental reset-per-test session — each generated test is an
+// AppendTest, so fault batches stay armed across targets, detected lanes
+// drop at the batch level, and targets the search resolves without a test
+// retire their lanes too. The remaining-target set shrinks as the session
+// advances instead of being re-planned per test.
+func (m *Model) generateSeqCompiled(faults []faultsim.Fault, o SeqOptions) (*SeqReport, error) {
+	sim, err := m.compiled()
+	if err != nil {
+		return nil, err
+	}
+	sess, err := dropSimConfig(o.Options).New(m.nl, faults)
+	if err != nil {
+		return nil, err
+	}
 	rng := rand.New(rand.NewSource(o.FillSeed))
-	rep := &SeqReport{Total: len(faults), Frames: o.Frames}
+	rep := &SeqReport{Total: len(faults), Frames: m.frames}
+	alive := make([]bool, len(faults))
+	for i := range alive {
+		alive[i] = true
+	}
+	resolved := 0
+	retire := func(fi int) error {
+		alive[fi] = false
+		resolved++
+		return sess.Retire(fi)
+	}
+	for fi := range faults {
+		if !alive[fi] {
+			continue
+		}
+		if err := o.Cancelled(); err != nil {
+			return nil, fmt.Errorf("atpg: %w", err)
+		}
+		sites := m.um.SitesInFrames(m.nl, faults[fi].Site)
+		if len(sites) == 0 {
+			rep.Untestable++
+			if err := retire(fi); err != nil {
+				return nil, err
+			}
+			o.Report(resolved, len(faults))
+			continue
+		}
+		rep.PodemCalls++
+		cube, backtracks, status := m.eng.podem(sim, sites, o.MaxBacktracks)
+		rep.Backtracks += backtracks
+		if status != statusDetected {
+			if status == statusRedundant {
+				rep.Untestable++
+			} else {
+				rep.Aborted++
+			}
+			if err := retire(fi); err != nil {
+				return nil, err
+			}
+			o.Report(resolved, len(faults))
+			continue
+		}
+		test := m.sliceTest(cube, rng)
+		rep.Tests = append(rep.Tests, test)
+		res, err := sess.AppendTest(test)
+		if err != nil {
+			return nil, err
+		}
+		dropped := 0
+		for fj := range faults {
+			if alive[fj] && res.FirstDetected[fj] >= 0 {
+				alive[fj] = false
+				rep.Detected++
+				dropped++
+				resolved++
+			}
+		}
+		if dropped == 0 {
+			// PODEM promised detection but simulation disagrees: the random
+			// fill can only add detections, so this indicates an engine bug.
+			return nil, fmt.Errorf("atpg: sequential test for %s did not detect its target", faults[fi].Desc)
+		}
+		o.Report(resolved, len(faults))
+	}
+	return rep, nil
+}
+
+// generateSeqLegacy is the legacy sequential path, kept for differential
+// testing: interpreter planes and a one-shot RunOn per generated test
+// over the still-alive subset, on the default compiled fault simulator —
+// exactly the pre-session drop-sim shape (only the cancellation context
+// is threaded through), so the benchmark pair against the compiled path
+// measures the port, not a drop-sim engine swap.
+func (m *Model) generateSeqLegacy(faults []faultsim.Fault, o SeqOptions) (*SeqReport, error) {
+	var dropCfg faultsim.Config
+	dropCfg.Ctx = o.Ctx
+	dropSim, err := dropCfg.New(m.nl, faults)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(o.FillSeed))
+	rep := &SeqReport{Total: len(faults), Frames: m.frames}
 	alive := make([]bool, len(faults))
 	for i := range alive {
 		alive[i] = true
@@ -112,46 +230,41 @@ func GenerateSequential(nl *netlist.Netlist, faults []faultsim.Fault, opts *SeqO
 		}
 		return out
 	}
-
+	sim := interpSim{m.eng}
+	resolved := 0
 	for fi := range faults {
 		if !alive[fi] {
 			continue
 		}
-		sites := um.SitesInFrames(nl, faults[fi].Site)
+		if err := o.Cancelled(); err != nil {
+			return nil, fmt.Errorf("atpg: %w", err)
+		}
+		sites := m.um.SitesInFrames(m.nl, faults[fi].Site)
 		if len(sites) == 0 {
 			rep.Untestable++
 			alive[fi] = false
+			resolved++
+			o.Report(resolved, len(faults))
 			continue
 		}
 		rep.PodemCalls++
-		cube, backtracks, status := eng.podem(sites, o.MaxBacktracks)
+		cube, backtracks, status := m.eng.podem(sim, sites, o.MaxBacktracks)
 		rep.Backtracks += backtracks
 		switch status {
 		case statusRedundant:
 			rep.Untestable++
 			alive[fi] = false
+			resolved++
+			o.Report(resolved, len(faults))
 			continue
 		case statusAborted:
 			rep.Aborted++
 			alive[fi] = false
+			resolved++
+			o.Report(resolved, len(faults))
 			continue
 		}
-		// Slice the frame-major PI cube into one pattern per cycle.
-		test := make([]faultsim.Pattern, o.Frames)
-		for f := 0; f < o.Frames; f++ {
-			pat := make(faultsim.Pattern, um.PIsPerFrame)
-			for i := 0; i < um.PIsPerFrame; i++ {
-				switch cube[f*um.PIsPerFrame+i] {
-				case lo:
-					pat[i] = 0
-				case hi:
-					pat[i] = 1
-				default:
-					pat[i] = uint8(rng.Intn(2))
-				}
-			}
-			test[f] = pat
-		}
+		test := m.sliceTest(cube, rng)
 		rep.Tests = append(rep.Tests, test)
 		// Drop everything this test detects (applied from power-on); only
 		// still-alive faults are worth re-simulating.
@@ -166,6 +279,7 @@ func GenerateSequential(nl *netlist.Netlist, faults []faultsim.Fault, opts *SeqO
 				alive[idx] = false
 				rep.Detected++
 				dropped++
+				resolved++
 			}
 		}
 		if dropped == 0 {
@@ -173,48 +287,43 @@ func GenerateSequential(nl *netlist.Netlist, faults []faultsim.Fault, opts *SeqO
 			// fill can only add detections, so this indicates an engine bug.
 			return nil, fmt.Errorf("atpg: sequential test for %s did not detect its target", faults[fi].Desc)
 		}
+		o.Report(resolved, len(faults))
 	}
 	return rep, nil
 }
 
+// sliceTest carves the frame-major PI cube into one filled pattern per
+// cycle.
+func (m *Model) sliceTest(cube []tri, rng *rand.Rand) []faultsim.Pattern {
+	test := make([]faultsim.Pattern, m.frames)
+	for f := 0; f < m.frames; f++ {
+		test[f] = fillCube(cube[f*m.um.PIsPerFrame:(f+1)*m.um.PIsPerFrame], rng)
+	}
+	return test
+}
+
 // RunTestSet fault-simulates a set of power-on test sequences and returns
-// the union coverage over the given fault list.
+// the union coverage over the given fault list, driving one incremental
+// reset-per-test session so already-detected faults are never
+// re-simulated.
 func RunTestSet(nl *netlist.Netlist, faults []faultsim.Fault, tests [][]faultsim.Pattern) (float64, error) {
+	if len(faults) == 0 {
+		return 0, nil
+	}
 	fs, err := faultsim.New(nl, faults)
 	if err != nil {
 		return 0, err
 	}
-	detected := make([]bool, len(faults))
-	remaining := make([]int, len(faults))
-	for i := range remaining {
-		remaining[i] = i
-	}
+	detected := 0
 	for _, t := range tests {
-		if len(remaining) == 0 {
+		if detected == len(faults) {
 			break
 		}
-		res, err := fs.RunOn(t, remaining)
+		res, err := fs.AppendTest(t)
 		if err != nil {
 			return 0, err
 		}
-		next := remaining[:0]
-		for _, i := range remaining {
-			if res.FirstDetected[i] >= 0 {
-				detected[i] = true
-			} else {
-				next = append(next, i)
-			}
-		}
-		remaining = next
+		detected = res.DetectedCount()
 	}
-	n := 0
-	for _, d := range detected {
-		if d {
-			n++
-		}
-	}
-	if len(faults) == 0 {
-		return 0, nil
-	}
-	return float64(n) / float64(len(faults)), nil
+	return float64(detected) / float64(len(faults)), nil
 }

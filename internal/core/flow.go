@@ -586,8 +586,14 @@ func (f *Flow) SequentialATPGTopoff(frames int) (*SeqTopoffResult, error) {
 	if frames <= 0 {
 		frames = 8
 	}
-	opts := &atpg.SeqOptions{Frames: frames, FillSeed: f.cfg.Seed + 40}
-	baseline, err := atpg.GenerateSequential(f.Netlist, f.Faults, opts)
+	// One model per (netlist, depth): baseline and top-off share the
+	// unrolled compilation.
+	model, err := atpg.NewSequentialModel(f.Netlist, frames)
+	if err != nil {
+		return nil, err
+	}
+	opts := &atpg.SeqOptions{Frames: frames, FillSeed: f.cfg.Seed + 40, Options: f.cfg.Options}
+	baseline, err := model.GenerateSequential(f.Faults, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -605,8 +611,8 @@ func (f *Flow) SequentialATPGTopoff(frames int) (*SeqTopoffResult, error) {
 			remaining = append(remaining, f.Faults[i])
 		}
 	}
-	topOpts := &atpg.SeqOptions{Frames: frames, FillSeed: f.cfg.Seed + 41}
-	topoff, err := atpg.GenerateSequential(f.Netlist, remaining, topOpts)
+	topOpts := &atpg.SeqOptions{Frames: frames, FillSeed: f.cfg.Seed + 41, Options: f.cfg.Options}
+	topoff, err := model.GenerateSequential(remaining, topOpts)
 	if err != nil {
 		return nil, err
 	}
@@ -626,7 +632,13 @@ func (f *Flow) ATPGTopoff() (*TopoffResult, error) {
 	if f.Netlist.IsSequential() {
 		return nil, fmt.Errorf("core: ATPG top-off needs a combinational circuit; %s has flip-flops", f.Circuit.Name)
 	}
-	baseline, err := atpg.Generate(f.Netlist, f.Faults, &atpg.Options{FillSeed: f.cfg.Seed + 30})
+	// One model for both runs: baseline and top-off share the search
+	// structures and the compiled dual-rail twin.
+	model, err := atpg.NewModel(f.Netlist)
+	if err != nil {
+		return nil, err
+	}
+	baseline, err := model.Generate(f.Faults, &atpg.Options{FillSeed: f.cfg.Seed + 30, Options: f.cfg.Options})
 	if err != nil {
 		return nil, err
 	}
@@ -644,7 +656,7 @@ func (f *Flow) ATPGTopoff() (*TopoffResult, error) {
 			remaining = append(remaining, f.Faults[i])
 		}
 	}
-	topoff, err := atpg.Generate(f.Netlist, remaining, &atpg.Options{FillSeed: f.cfg.Seed + 31})
+	topoff, err := model.Generate(remaining, &atpg.Options{FillSeed: f.cfg.Seed + 31, Options: f.cfg.Options})
 	if err != nil {
 		return nil, err
 	}

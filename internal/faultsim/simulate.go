@@ -119,9 +119,11 @@ type Simulator struct {
 	detected []int                     // cumulative first-detection profile over faults
 	live     []int                     // frontier: included faults not yet detected
 	batches  []seqBatch                // live parallel-fault batches (compiled sequential)
+	batchFor map[int]seqBatch          // fault index -> planned batch (Retire lane lookup)
 	goodM    *netlist.Machine[lane.W1] // persistent good machine (compiled sequential)
 	combM    any                       // cached []*netlist.Machine[W] worker pool (compiled combinational)
 	refSeq   []Pattern                 // accumulated stimulus (reference sequential replay)
+	testMode bool                      // session is in AppendTest (reset-per-test) discipline
 	err      error                     // sticky failure from a cancelled/failed Append
 }
 
@@ -198,6 +200,7 @@ func (s *Simulator) Reset() {
 func (s *Simulator) resetTo(include []int) {
 	s.applied = 0
 	s.err = nil
+	s.testMode = false
 	s.detected = make([]int, len(s.faults))
 	for i := range s.detected {
 		s.detected[i] = -1
@@ -205,6 +208,7 @@ func (s *Simulator) resetTo(include []int) {
 	s.live = include
 	s.refSeq = nil
 	s.batches = nil
+	s.batchFor = nil
 	if s.goodM != nil {
 		s.goodM.Reset()
 		s.batches = s.planBatches(include)
@@ -266,6 +270,36 @@ func (s *Simulator) RunOn(tests []Pattern, include []int) (*Result, error) {
 // poisons the session — every later Append reports the same error until
 // Reset/Run/RunOn restarts it.
 func (s *Simulator) Append(tests []Pattern) (*Result, error) {
+	// Sticky poisoning wins over the discipline check: a cancelled
+	// AppendTest must keep reporting its own error, not misuse.
+	if s.err == nil && s.nl.IsSequential() && s.testMode {
+		return nil, fmt.Errorf("faultsim: Append after AppendTest mixes application disciplines; Reset the session first")
+	}
+	return s.appendWindow(tests, false)
+}
+
+// AppendTest appends one complete power-on test to the session: every
+// machine restarts from power-on reset (the "reset between tests"
+// application discipline), while the session's per-fault drop state, the
+// live frontier and the armed fault batches all carry over — faults a
+// previous test detected are not re-simulated, retired batches stay
+// skipped, and live batches keep their injected faults so only flip-flop
+// state is rewound. The cumulative result is exactly what per-test
+// subset runs (RunOn on the shrinking frontier) would produce, with
+// detection indices still counting applied cycles globally. A session
+// that has seen AppendTest stays in the reset-per-test discipline until
+// Reset/Run/RunOn: a plain Append would silently mean something
+// different on each engine, so it is rejected instead. On combinational
+// circuits patterns are independent anyway and AppendTest is identical
+// to Append.
+func (s *Simulator) AppendTest(test []Pattern) (*Result, error) {
+	if !s.nl.IsSequential() {
+		return s.appendWindow(test, false)
+	}
+	return s.appendWindow(test, true)
+}
+
+func (s *Simulator) appendWindow(tests []Pattern, fromReset bool) (*Result, error) {
 	if s.err != nil {
 		return nil, s.err
 	}
@@ -279,12 +313,17 @@ func (s *Simulator) Append(tests []Pattern) (*Result, error) {
 		return nil, s.err
 	}
 	if len(tests) > 0 {
+		if fromReset {
+			// A zero-length test is a no-op and must not lock the
+			// discipline, so the flag flips only when cycles apply.
+			s.testMode = true
+		}
 		var err error
 		if s.nl.IsSequential() {
 			if s.cfg.reference() {
-				err = s.appendSequentialRef(tests)
+				err = s.appendSequentialRef(tests, fromReset)
 			} else {
-				err = s.appendSequential(tests)
+				err = s.appendSequential(tests, fromReset)
 			}
 		} else {
 			if s.cfg.reference() {
@@ -303,6 +342,37 @@ func (s *Simulator) Append(tests []Pattern) (*Result, error) {
 	return s.snapshot(), nil
 }
 
+// Retire removes a still-live fault from the session frontier without
+// recording a detection: later windows stop simulating it and its
+// FirstDetected stays -1. ATPG drop-sim sessions use it to stop paying
+// for faults the search proved redundant or gave up on. Retiring frees
+// the fault's lane in its parallel-fault batch; a batch whose last lane
+// retires is released like a fully dropped one. Retiring a fault that is
+// not on the frontier (already detected, excluded or retired) is a
+// no-op. Removal costs one linear pass over the frontier — callers
+// retire at most once per fault, and each retirement follows work
+// (a PODEM search, say) that dwarfs it.
+func (s *Simulator) Retire(fi int) error {
+	if fi < 0 || fi >= len(s.faults) {
+		return fmt.Errorf("faultsim: fault index %d out of range [0,%d)", fi, len(s.faults))
+	}
+	found := false
+	for j, v := range s.live {
+		if v == fi {
+			s.live = append(s.live[:j], s.live[j+1:]...)
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil
+	}
+	if b, ok := s.batchFor[fi]; ok {
+		b.dropLane(fi)
+	}
+	return nil
+}
+
 // prune drops detected faults from the frontier and retired batches from
 // the schedule.
 func (s *Simulator) prune() {
@@ -318,6 +388,13 @@ func (s *Simulator) prune() {
 		for _, b := range s.batches {
 			if !b.retired() {
 				batchOut = append(batchOut, b)
+				continue
+			}
+			// Drop the lane index entries too, so a retired batch shell
+			// (fault list, masks) is actually GC-released, not pinned by
+			// the map.
+			for _, fi := range b.faultList() {
+				delete(s.batchFor, fi)
 			}
 		}
 		s.batches = batchOut
@@ -511,19 +588,27 @@ func (s *Simulator) planSeqChunks(n int) []seqChunk {
 	return out
 }
 
-// planBatches instantiates the chunk plan as stateful session batches.
+// planBatches instantiates the chunk plan as stateful session batches and
+// indexes each fault's batch (fault-to-lane positions never change after
+// planning, so Retire can go straight to the owning batch).
 func (s *Simulator) planBatches(include []int) []seqBatch {
 	chunks := s.planSeqChunks(len(include))
 	out := make([]seqBatch, 0, len(chunks))
+	s.batchFor = make(map[int]seqBatch, len(include))
 	for _, c := range chunks {
 		faults := append([]int(nil), include[c.lo:c.hi]...)
+		var b seqBatch
 		switch c.words {
 		case 4:
-			out = append(out, &seqBatchW[lane.W4]{faults: faults, active: lane.FirstN[lane.W4](len(faults))})
+			b = &seqBatchW[lane.W4]{faults: faults, active: lane.FirstN[lane.W4](len(faults))}
 		case 8:
-			out = append(out, &seqBatchW[lane.W8]{faults: faults, active: lane.FirstN[lane.W8](len(faults))})
+			b = &seqBatchW[lane.W8]{faults: faults, active: lane.FirstN[lane.W8](len(faults))}
 		default:
-			out = append(out, &seqBatchW[lane.W1]{faults: faults, active: lane.FirstN[lane.W1](len(faults))})
+			b = &seqBatchW[lane.W1]{faults: faults, active: lane.FirstN[lane.W1](len(faults))}
+		}
+		out = append(out, b)
+		for _, fi := range faults {
+			s.batchFor[fi] = b
 		}
 	}
 	return out
@@ -537,6 +622,15 @@ type seqBatch interface {
 	run(s *Simulator, st *seqStim, goodPOs [][]uint64, base int, ctx context.Context) error
 	width() int
 	retired() bool
+	// resetState rewinds the armed machine to power-on reset, keeping the
+	// injected faults and drop masks (the AppendTest discipline).
+	resetState()
+	// dropLane frees the lane holding the given fault without recording a
+	// detection; it reports whether the fault was this batch's.
+	dropLane(fault int) bool
+	// faultList exposes the batch's lane-ordered fault indices (prune
+	// uses it to unindex retired batches).
+	faultList() []int
 }
 
 // seqBatchW is the per-width batch state. Each live batch owns its
@@ -554,8 +648,30 @@ type seqBatchW[W lane.Word] struct {
 	done   bool                // every lane dropped; the batch is retired
 }
 
-func (c *seqBatchW[W]) width() int    { var w W; return len(w) }
-func (c *seqBatchW[W]) retired() bool { return c.done }
+func (c *seqBatchW[W]) width() int       { var w W; return len(w) }
+func (c *seqBatchW[W]) retired() bool    { return c.done }
+func (c *seqBatchW[W]) faultList() []int { return c.faults }
+
+func (c *seqBatchW[W]) resetState() {
+	if c.m != nil {
+		c.m.Reset()
+	}
+}
+
+func (c *seqBatchW[W]) dropLane(fault int) bool {
+	for ln, fi := range c.faults {
+		if fi != fault {
+			continue
+		}
+		c.active[ln>>6] &^= 1 << uint(ln&63)
+		if lane.None(c.active) {
+			c.done = true
+			c.m = nil
+		}
+		return true
+	}
+	return false
+}
 
 // run advances this batch over the new cycles: evaluate each cycle
 // against the good trace with per-lane dropping, retiring the batch once
@@ -563,6 +679,9 @@ func (c *seqBatchW[W]) retired() bool { return c.done }
 // chunked run replays nothing. Detection indices are base plus the local
 // cycle.
 func (c *seqBatchW[W]) run(s *Simulator, st *seqStim, goodPOs [][]uint64, base int, ctx context.Context) error {
+	if c.done {
+		return nil // retired via dropLane; prune removes it next
+	}
 	m := c.m
 	if m == nil {
 		// First window: a fresh machine is in power-on reset; arm the
@@ -647,9 +766,18 @@ func stimFor[W lane.Word](st *seqStim) [][]W {
 // Appends skip it entirely. Batches are independent, so they fan out over
 // the worker pool. The good trace continues on the session's persistent
 // single-word machine (every lane of a broadcast run is identical) and is
-// shared by batches of every width.
-func (s *Simulator) appendSequential(tests []Pattern) error {
+// shared by batches of every width. With fromReset (the AppendTest
+// discipline) every machine — the good one and each live batch's —
+// restarts from power-on before the window; arming costs are still paid
+// only once per session.
+func (s *Simulator) appendSequential(tests []Pattern, fromReset bool) error {
 	ctx := s.cfg.Ctx
+	if fromReset {
+		s.goodM.Reset()
+		for _, b := range s.batches {
+			b.resetState()
+		}
+	}
 	pi1 := broadcastWords[lane.W1](s, tests)
 	goodPOs := make([][]uint64, len(tests))
 	for cyc, words := range pi1 {
@@ -757,20 +885,29 @@ func (s *Simulator) packPatternBatchesRef(tests []Pattern) [][]uint64 {
 	return out
 }
 
-// appendSequentialRef is the single-fault reference: the session
-// accumulates the applied stimulus, and each live fault replays the whole
-// accumulated sequence from power-on reset on its own Evaluator,
-// broadcast across all lanes, strictly serial. Replaying the prefix keeps
-// the reference engine trivially correct (the simulation is
-// deterministic, and a live fault cannot be detected inside the prefix it
-// already survived) at the cost the reference engine always pays — it
-// exists for differential testing, not speed.
-func (s *Simulator) appendSequentialRef(tests []Pattern) error {
-	for _, p := range tests {
-		s.refSeq = append(s.refSeq, append(Pattern(nil), p...))
+// appendSequentialRef is the single-fault reference: each live fault
+// replays a window on its own Evaluator from power-on reset, broadcast
+// across all lanes, strictly serial. In the continuous (Append)
+// discipline the session accumulates the applied stimulus and the window
+// is the whole accumulated sequence — replaying the prefix keeps the
+// reference engine trivially correct (the simulation is deterministic,
+// and a live fault cannot be detected inside the prefix it already
+// survived) at the cost the reference engine always pays; it exists for
+// differential testing, not speed. In the reset-per-test (AppendTest)
+// discipline the window is just the new test, because every test starts
+// from power-on anyway.
+func (s *Simulator) appendSequentialRef(tests []Pattern, fromReset bool) error {
+	window := tests
+	base := s.applied
+	if !fromReset {
+		for _, p := range tests {
+			s.refSeq = append(s.refSeq, append(Pattern(nil), p...))
+		}
+		window = s.refSeq
+		base = 0
 	}
-	piWords := make([][]uint64, len(s.refSeq))
-	for cyc, p := range s.refSeq {
+	piWords := make([][]uint64, len(window))
+	for cyc, p := range window {
 		words := make([]uint64, len(s.nl.PIs))
 		for pi, v := range p {
 			if v != 0 {
@@ -779,7 +916,7 @@ func (s *Simulator) appendSequentialRef(tests []Pattern) error {
 		}
 		piWords[cyc] = words
 	}
-	goodPOs := make([][]uint64, len(s.refSeq))
+	goodPOs := make([][]uint64, len(window))
 	s.good.Reset()
 	for cyc, words := range piWords {
 		out, err := s.good.Eval(words)
@@ -796,14 +933,14 @@ func (s *Simulator) appendSequentialRef(tests []Pattern) error {
 		}
 		f := s.faults[fi]
 		s.bad.Reset()
-		for cyc := range s.refSeq {
+		for cyc := range window {
 			badOut := s.bad.EvalWith(piWords[cyc], f.Site, allLanes)
 			var diff uint64
 			for po := range badOut {
 				diff |= badOut[po] ^ goodPOs[cyc][po]
 			}
 			if diff != 0 {
-				s.detected[fi] = cyc
+				s.detected[fi] = base + cyc
 				break
 			}
 			s.bad.ClockWith(f.Site, allLanes)

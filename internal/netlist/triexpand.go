@@ -1,0 +1,190 @@
+// Dual-rail three-valued expansion: evaluating Kleene (0/1/X) logic on
+// the compiled two-valued Machine.
+//
+// PODEM's implication step is a forward simulation of the circuit in
+// three-valued logic — every net is 0, 1 or X — once per decision, on two
+// planes (good machine and faulty machine). The compiled engine only
+// speaks two-valued words, so TriExpand translates the circuit instead of
+// the engine: every net splits into two rails, hi ("the value is 1") and
+// lo ("the value is 0"), with X encoded as both rails low. Kleene
+// semantics then reduce to plain gates over rails — AND's hi rail is the
+// AND of the input hi rails, its lo rail the OR of the input lo rails;
+// inversion swaps rails; the XOR family adds a definedness term — so one
+// pass of a compiled Machine over the twin reproduces the three-valued
+// interpreter gate for gate, bit for bit.
+//
+// Stuck-at faults translate too: forcing a net to the definite value v is
+// forcing its hi rail to (v == 1) and its lo rail to (v == 0), so one
+// source fault site becomes two twin sites, injectable with
+// Machine.InjectFault like any other stuck-at pair. Lanes stay lanes:
+// the ATPG engine runs the good plane in lane 0 and the faulty plane in
+// lane 1 of a single W=1 Machine pass (see internal/atpg).
+package netlist
+
+import "fmt"
+
+// TriMap relates gates of a source combinational netlist to their rail
+// gates in the dual-rail twin produced by TriExpand.
+type TriMap struct {
+	// Hi[id] and Lo[id] are the twin gates computing "source gate id is
+	// 1" and "source gate id is 0". Every source gate has both rails.
+	Hi, Lo []int
+	// pinHi/pinLo map an (XOR-family gate, pin) pair to the dedicated
+	// rail buffers inserted for that pin, so fanout-branch faults on
+	// XOR inputs translate to stem faults confined to this gate's view.
+	pinHi, pinLo map[[2]int]int
+}
+
+// TriExpand builds the dual-rail twin of a combinational netlist. The
+// twin's primary inputs are the source PIs' rails, interleaved in source
+// PI order (hi rail of PI 0, lo rail of PI 0, hi rail of PI 1, ...), and
+// its primary outputs are the source POs' rails in the same interleaving.
+// Driving a PI pair (1,0)/(0,1)/(0,0) presents the source input as
+// 1/0/X; each output pair decodes the same way, and (1,1) cannot arise.
+func TriExpand(n *Netlist) (*Netlist, *TriMap, error) {
+	if n.IsSequential() {
+		return nil, nil, fmt.Errorf("netlist: TriExpand needs a combinational netlist; %s has flip-flops", n.Name)
+	}
+	order, err := n.Levelize()
+	if err != nil {
+		return nil, nil, err
+	}
+	tw := New(n.Name + "_3v")
+	m := &TriMap{
+		Hi:    make([]int, len(n.Gates)),
+		Lo:    make([]int, len(n.Gates)),
+		pinHi: make(map[[2]int]int),
+		pinLo: make(map[[2]int]int),
+	}
+	for i := range m.Hi {
+		m.Hi[i], m.Lo[i] = -1, -1
+	}
+	for _, id := range n.PIs {
+		name := n.Gates[id].Name
+		m.Hi[id] = tw.AddInput(name + ".h")
+		m.Lo[id] = tw.AddInput(name + ".l")
+	}
+	for _, g := range n.Gates {
+		switch g.Type {
+		case Const0:
+			m.Hi[g.ID] = tw.AddGate(Const0)
+			m.Lo[g.ID] = tw.AddGate(Const1)
+		case Const1:
+			m.Hi[g.ID] = tw.AddGate(Const1)
+			m.Lo[g.ID] = tw.AddGate(Const0)
+		}
+	}
+	for _, id := range order {
+		g := n.Gates[id]
+		his := make([]int, len(g.Fanin))
+		los := make([]int, len(g.Fanin))
+		for j, f := range g.Fanin {
+			his[j], los[j] = m.Hi[f], m.Lo[f]
+			if his[j] < 0 || los[j] < 0 {
+				return nil, nil, fmt.Errorf("netlist: TriExpand: gate %d fanin %d unmapped", id, f)
+			}
+		}
+		switch g.Type {
+		case Buf:
+			m.Hi[id] = tw.AddGate(Buf, his[0])
+			m.Lo[id] = tw.AddGate(Buf, los[0])
+		case Not:
+			m.Hi[id] = tw.AddGate(Buf, los[0])
+			m.Lo[id] = tw.AddGate(Buf, his[0])
+		case And:
+			m.Hi[id] = tw.AddGate(And, his...)
+			m.Lo[id] = tw.AddGate(Or, los...)
+		case Nand:
+			m.Hi[id] = tw.AddGate(Or, los...)
+			m.Lo[id] = tw.AddGate(And, his...)
+		case Or:
+			m.Hi[id] = tw.AddGate(Or, his...)
+			m.Lo[id] = tw.AddGate(And, los...)
+		case Nor:
+			m.Hi[id] = tw.AddGate(And, los...)
+			m.Lo[id] = tw.AddGate(Or, his...)
+		case Xor, Xnor:
+			// Kleene XOR is X as soon as one input is X, else the parity
+			// of the definite values. Each pin gets dedicated rail
+			// buffers so a fanout-branch fault on the pin stays a stem
+			// fault on gates only this XOR reads.
+			defs := make([]int, len(g.Fanin))
+			hbs := make([]int, len(g.Fanin))
+			for j := range g.Fanin {
+				hb := tw.AddGate(Buf, his[j])
+				lb := tw.AddGate(Buf, los[j])
+				m.pinHi[[2]int{id, j}] = hb
+				m.pinLo[[2]int{id, j}] = lb
+				hbs[j] = hb
+				defs[j] = tw.AddGate(Or, hb, lb)
+			}
+			def := tw.AddGate(And, defs...)
+			p := tw.AddGate(Xor, hbs...)
+			np := tw.AddGate(Not, p)
+			if g.Type == Xor {
+				m.Hi[id] = tw.AddGate(And, def, p)
+				m.Lo[id] = tw.AddGate(And, def, np)
+			} else {
+				m.Hi[id] = tw.AddGate(And, def, np)
+				m.Lo[id] = tw.AddGate(And, def, p)
+			}
+		default:
+			return nil, nil, fmt.Errorf("netlist: TriExpand: unsupported gate type %s", g.Type)
+		}
+	}
+	for i, id := range n.POs {
+		tw.MarkOutput(m.Hi[id], n.PONames[i]+".h")
+		tw.MarkOutput(m.Lo[id], n.PONames[i]+".l")
+	}
+	if err := tw.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("netlist: dual-rail twin invalid: %w", err)
+	}
+	return tw, m, nil
+}
+
+// FaultSites translates a stuck-at site of the source netlist into the
+// twin sites that force the faulted connection's rails to the stuck
+// value's encoding. Sites with no effect under the source semantics
+// (pin faults on gates without that pin) translate to nothing.
+func (m *TriMap) FaultSites(n *Netlist, site FaultSite) []FaultSite {
+	g := n.Gates[site.Gate]
+	hs := uint64(0) // hi rail stuck value
+	ls := uint64(0) // lo rail stuck value
+	if site.Stuck == 1 {
+		hs = 1
+	} else {
+		ls = 1
+	}
+	if site.Pin < 0 {
+		// Stem fault: force the net's rails, wherever they live (comb
+		// gate outputs, PIs or constants all inject the same way).
+		return []FaultSite{
+			{Gate: m.Hi[site.Gate], Pin: -1, Stuck: hs},
+			{Gate: m.Lo[site.Gate], Pin: -1, Stuck: ls},
+		}
+	}
+	if !g.Type.IsComb() || site.Pin >= len(g.Fanin) {
+		return nil // inert under the source semantics
+	}
+	switch g.Type {
+	case Buf, And, Or:
+		// Rail gates read (hi, lo) fanins positionally.
+		return []FaultSite{
+			{Gate: m.Hi[site.Gate], Pin: site.Pin, Stuck: hs},
+			{Gate: m.Lo[site.Gate], Pin: site.Pin, Stuck: ls},
+		}
+	case Not, Nand, Nor:
+		// Inverting gates swap rails: the hi twin reads lo fanins.
+		return []FaultSite{
+			{Gate: m.Hi[site.Gate], Pin: site.Pin, Stuck: ls},
+			{Gate: m.Lo[site.Gate], Pin: site.Pin, Stuck: hs},
+		}
+	case Xor, Xnor:
+		// The pin's dedicated rail buffers carry this gate's view.
+		return []FaultSite{
+			{Gate: m.pinHi[[2]int{site.Gate, site.Pin}], Pin: -1, Stuck: hs},
+			{Gate: m.pinLo[[2]int{site.Gate, site.Pin}], Pin: -1, Stuck: ls},
+		}
+	}
+	return nil
+}

@@ -1,0 +1,298 @@
+package netlist
+
+import (
+	"testing"
+
+	"repro/internal/lane"
+)
+
+// The reference three-valued (Kleene) interpreter the twin must
+// reproduce. It mirrors the ATPG engine's evaluator: 0, 1, or X per net,
+// X as soon as a controlling value cannot be decided.
+const kX = 2 // reference X value; 0 and 1 are themselves
+
+func kNot(v uint8) uint8 {
+	if v == kX {
+		return kX
+	}
+	return v ^ 1
+}
+
+// kEval evaluates one gate in Kleene logic, optionally overriding input
+// pin fpin with fval (fpin -1 for no override).
+func kEval(g *Gate, vals []uint8, fpin int, fval uint8) uint8 {
+	in := func(j int) uint8 {
+		if j == fpin {
+			return fval
+		}
+		return vals[g.Fanin[j]]
+	}
+	switch g.Type {
+	case Buf:
+		return in(0)
+	case Not:
+		return kNot(in(0))
+	case And, Nand:
+		v := uint8(1)
+		for j := range g.Fanin {
+			switch in(j) {
+			case 0:
+				v = 0
+			case kX:
+				if v != 0 {
+					v = kX
+				}
+			}
+		}
+		if g.Type == Nand {
+			return kNot(v)
+		}
+		return v
+	case Or, Nor:
+		v := uint8(0)
+		for j := range g.Fanin {
+			switch in(j) {
+			case 1:
+				v = 1
+			case kX:
+				if v != 1 {
+					v = kX
+				}
+			}
+		}
+		if g.Type == Nor {
+			return kNot(v)
+		}
+		return v
+	case Xor, Xnor:
+		v := uint8(0)
+		for j := range g.Fanin {
+			iv := in(j)
+			if iv == kX {
+				return kX
+			}
+			v ^= iv
+		}
+		if g.Type == Xnor {
+			return kNot(v)
+		}
+		return v
+	}
+	return vals[g.ID]
+}
+
+// kSimulate forward-simulates the netlist in Kleene logic with at most
+// one fault site injected (Gate < 0 for none), mirroring the ATPG
+// implication semantics: non-combinational stems apply before gate
+// evaluation, pin overrides during, combinational stems after.
+func kSimulate(t *testing.T, n *Netlist, assign []uint8, f FaultSite) []uint8 {
+	t.Helper()
+	order, err := n.Levelize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]uint8, len(n.Gates))
+	for i := range vals {
+		vals[i] = kX
+	}
+	for i, id := range n.PIs {
+		vals[id] = assign[i]
+	}
+	for _, g := range n.Gates {
+		switch g.Type {
+		case Const0:
+			vals[g.ID] = 0
+		case Const1:
+			vals[g.ID] = 1
+		}
+	}
+	if f.Gate >= 0 && f.Pin < 0 && !n.Gates[f.Gate].Type.IsComb() {
+		vals[f.Gate] = uint8(f.Stuck)
+	}
+	for _, id := range order {
+		g := n.Gates[id]
+		fpin, fval := -1, kX
+		if id == f.Gate && f.Pin >= 0 && f.Pin < len(g.Fanin) {
+			fpin, fval = f.Pin, int(f.Stuck)
+		}
+		vals[id] = kEval(g, vals, fpin, uint8(fval))
+		if id == f.Gate && f.Pin < 0 {
+			vals[id] = uint8(f.Stuck)
+		}
+	}
+	return vals
+}
+
+// triCircuits builds the gate-type coverage set for the twin pin:
+// every primitive, n-ary forms, constants, duplicated fanins and
+// reconvergence.
+func triCircuits() []*Netlist {
+	var out []*Netlist
+
+	n := New("alltypes")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	c := n.AddInput("c")
+	c0 := n.AddGate(Const0)
+	c1 := n.AddGate(Const1)
+	nb := n.AddGate(Not, b)
+	bb := n.AddGate(Buf, a)
+	g1 := n.AddGate(And, a, nb, c)
+	g2 := n.AddGate(Or, bb, c, c0)
+	g3 := n.AddGate(Nand, g1, g2)
+	g4 := n.AddGate(Nor, a, g2)
+	g5 := n.AddGate(Xor, g3, g4, c)
+	g6 := n.AddGate(Xnor, g5, c1)
+	n.MarkOutput(g5, "y0")
+	n.MarkOutput(g6, "y1")
+	out = append(out, n)
+
+	n = New("dupfanin")
+	a = n.AddInput("a")
+	b = n.AddInput("b")
+	g1 = n.AddGate(And, a, a)
+	g2 = n.AddGate(Xor, a, b, a)
+	g3 = n.AddGate(Or, g1, g2)
+	n.MarkOutput(g3, "y")
+	out = append(out, n)
+
+	n = New("reconv")
+	a = n.AddInput("a")
+	b = n.AddInput("b")
+	na := n.AddGate(Not, a)
+	g1 = n.AddGate(And, a, na) // constant 0 in two-valued logic, X-prone in Kleene
+	g2 = n.AddGate(Xnor, a, b)
+	g3 = n.AddGate(Nor, g1, g2)
+	n.MarkOutput(g3, "y")
+	out = append(out, n)
+
+	return out
+}
+
+// triSites enumerates every stem and pin fault of the netlist, plus an
+// out-of-range pin per gate (which must be inert on both engines).
+func triSites(n *Netlist) []FaultSite {
+	var out []FaultSite
+	for _, g := range n.Gates {
+		for _, v := range []uint64{0, 1} {
+			out = append(out, FaultSite{Gate: g.ID, Pin: -1, Stuck: v})
+			for j := range g.Fanin {
+				out = append(out, FaultSite{Gate: g.ID, Pin: j, Stuck: v})
+			}
+		}
+		out = append(out, FaultSite{Gate: g.ID, Pin: len(g.Fanin), Stuck: 1})
+	}
+	return out
+}
+
+// TestTriExpandMatchesKleene pins the dual-rail twin bit-identical to the
+// reference Kleene interpreter: over exhaustive three-valued input
+// assignments and every fault site, a single two-lane Machine pass (good
+// plane in lane 0, faulty plane in lane 1) must decode to exactly the
+// interpreter's good and faulty values on every net.
+func TestTriExpandMatchesKleene(t *testing.T) {
+	const goodLane, faultyLane = 0, 1
+	for _, n := range triCircuits() {
+		t.Run(n.Name, func(t *testing.T) {
+			tw, tm, err := TriExpand(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := Compile(tw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := NewMachine[lane.W1](prog)
+			pis := make([]lane.W1, len(tw.PIs))
+			assign := make([]uint8, len(n.PIs))
+			nAssign := 1
+			for range n.PIs {
+				nAssign *= 3
+			}
+			for _, site := range triSites(n) {
+				m.ClearFaults()
+				for _, ts := range tm.FaultSites(n, site) {
+					m.InjectFault(ts, lane.Bit[lane.W1](faultyLane))
+				}
+				for code := 0; code < nAssign; code++ {
+					x := code
+					for i := range assign {
+						assign[i] = uint8(x % 3) // 0, 1, or kX
+						x /= 3
+					}
+					good := kSimulate(t, n, assign, FaultSite{Gate: -1, Pin: -1})
+					bad := kSimulate(t, n, assign, site)
+					for i, v := range assign {
+						var hw, lw uint64
+						switch v {
+						case 1:
+							hw = ^uint64(0)
+						case 0:
+							lw = ^uint64(0)
+						}
+						pis[2*i] = lane.W1{hw}
+						pis[2*i+1] = lane.W1{lw}
+					}
+					m.Eval(pis)
+					for id := range n.Gates {
+						hv := m.Value(tm.Hi[id])[0]
+						lv := m.Value(tm.Lo[id])[0]
+						gotG := decodeRails(hv&(1<<goodLane) != 0, lv&(1<<goodLane) != 0)
+						gotF := decodeRails(hv&(1<<faultyLane) != 0, lv&(1<<faultyLane) != 0)
+						if gotG != good[id] || gotF != bad[id] {
+							t.Fatalf("%s: site %+v assign %v gate %d: twin (good %d, faulty %d), reference (%d, %d)",
+								n.Name, site, assign, id, gotG, gotF, good[id], bad[id])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func decodeRails(h, l bool) uint8 {
+	switch {
+	case h && l:
+		return 99 // invalid encoding; must never appear
+	case h:
+		return 1
+	case l:
+		return 0
+	}
+	return kX
+}
+
+// TestTriExpandShape checks the structural contract: interleaved PI/PO
+// rails in source order, a rail pair for every source gate, and rejection
+// of sequential netlists.
+func TestTriExpandShape(t *testing.T) {
+	n := triCircuits()[0]
+	tw, tm, err := TriExpand(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tw.PIs) != 2*len(n.PIs) {
+		t.Errorf("twin has %d PIs for %d source PIs", len(tw.PIs), len(n.PIs))
+	}
+	if len(tw.POs) != 2*len(n.POs) {
+		t.Errorf("twin has %d POs for %d source POs", len(tw.POs), len(n.POs))
+	}
+	for i, id := range n.PIs {
+		if tw.PIs[2*i] != tm.Hi[id] || tw.PIs[2*i+1] != tm.Lo[id] {
+			t.Errorf("PI %d rails not interleaved at positions %d/%d", i, 2*i, 2*i+1)
+		}
+	}
+	for id := range n.Gates {
+		if tm.Hi[id] < 0 || tm.Lo[id] < 0 {
+			t.Errorf("source gate %d has no rails", id)
+		}
+	}
+	seq := New("seq")
+	d := seq.AddInput("d")
+	q := seq.AddDFF("q", 0)
+	seq.SetDFFInput(q, d)
+	seq.MarkOutput(q, "q")
+	if _, _, err := TriExpand(seq); err == nil {
+		t.Fatal("sequential netlist accepted")
+	}
+}
