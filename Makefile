@@ -53,4 +53,4 @@ bench-compare:
 ci: build examples vet fmt-check race bench-smoke
 
 clean:
-	rm -f BENCH_*.json BENCH_*.txt
+	rm -f BENCH_*.json BENCH_*.txt BENCH_*.mem.pprof

@@ -28,6 +28,14 @@
 // fault simulator round by round (AttachFaultSim). See the "Sessions and
 // incremental simulation" section of README.md.
 //
+// Sessions own their scratch: a warm round reuses buffers grown on the
+// session (internal/engine's Grow/GrowZero/Pool primitives), so
+// steady-state rounds allocate nothing. One-shot results (Run, RunOn,
+// Generate, MutationTests) are caller-owned; incremental results
+// (Append, AppendTest) are session-owned views overwritten by the next
+// call — Clone them to retain. The contract is stated in internal/engine
+// and the "Memory discipline" sections of README.md and ARCHITECTURE.md.
+//
 // Deterministic ATPG (internal/atpg, PODEM with time-frame expansion)
 // runs on the same compiled machinery: netlist.TriExpand builds a
 // dual-rail twin that encodes three-valued (0/1/X) logic as plain
@@ -40,7 +48,8 @@
 // identical test sets (internal/difftest's ATPG parity fuzz).
 //
 // See README.md for the package inventory, build/test/benchmark entry
-// points, the two-engine simulation design and the lane-width guidance,
+// points, the two-engine simulation design and the lane-width guidance;
+// ARCHITECTURE.md for the end-to-end map of the compiled-engine stack;
 // and bench_test.go for the harness that regenerates every table of the
 // paper's evaluation.
 package repro

@@ -6,9 +6,12 @@
 //
 // Both the baseline and top-off runs share one compiled ATPG model per
 // circuit (atpg.Model: PODEM's planes on the dual-rail twin machine,
-// fault dropping through an incremental fault-sim session); -legacy
-// switches to the serial reference engine (Workers: 1), which produces
-// the identical tables — that equality is what internal/difftest pins.
+// fault dropping through an incremental fault-sim session), so the
+// second campaign reuses the first one's compiled programs, search
+// structures and armed drop-sim scratch instead of rebuilding them.
+// -legacy switches to the serial reference engine (Workers: 1), which
+// produces the identical tables — that equality is what
+// internal/difftest pins.
 //
 //	go run ./examples/atpg_topoff [-legacy] [combinational circuits...]
 package main

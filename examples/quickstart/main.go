@@ -70,12 +70,20 @@ func main() {
 		len(tg.Segments),
 		100*tg.RoundCoverage[0], 100*tg.RoundCoverage[len(tg.RoundCoverage)-1])
 
-	// 5. Mutation score over the FULL population (validation quality).
-	killed, err := mutscore.Kills(circuit, mutants, tg.Seq)
+	// 5. Mutation score over the FULL population (validation quality). A
+	// Scorer compiles the population once and owns the scoring scratch,
+	// so both measurements here (and any further sequences you score)
+	// reuse the same machines; mutscore.Kills is the one-shot shorthand
+	// that builds a throwaway Scorer per call.
+	scorer, err := mutscore.Config{}.NewScorer(circuit, mutants)
 	if err != nil {
 		log.Fatal(err)
 	}
-	equiv, err := mutscore.EstimateEquivalence(circuit, mutants, nil,
+	killed, err := scorer.Kills(tg.Seq)
+	if err != nil {
+		log.Fatal(err)
+	}
+	equiv, err := scorer.EstimateEquivalence(nil,
 		&mutscore.EquivalenceOptions{Budget: 1024, Seed: 7})
 	if err != nil {
 		log.Fatal(err)
@@ -91,7 +99,10 @@ func main() {
 		100*mutRes.Coverage(), len(mutRes.Faults))
 
 	// 7. Compare against a raw pseudo-random test set (the paper's
-	//    baseline) via the NLFCE metric.
+	// baseline) via the NLFCE metric. Run restarts the same simulator
+	// session — the armed fault machines are recycled, not rebuilt — and
+	// returns a caller-owned result (tg.FaultSim above is already a
+	// detached clone, so the restart can't disturb it).
 	randRes, err := fsim.Run(tpg.ToPatterns(circuit, tpg.RawRandomSequence(circuit, 2048, 7)))
 	if err != nil {
 		log.Fatal(err)

@@ -162,6 +162,11 @@ type search struct {
 	// sites, indexed by gate for imply/objective.
 	sites  []netlist.FaultSite
 	siteAt map[int]netlist.FaultSite
+	// assign and stack are the search-owned decision scratch, recycled
+	// across podem calls (one cube and one decision stack per search, not
+	// per target).
+	assign []tri
+	stack  []decision
 }
 
 func newSearch(nl *netlist.Netlist) (*search, error) {
@@ -216,7 +221,9 @@ type decision struct {
 // (a single site for combinational ATPG; one copy per time frame for the
 // unrolled sequential flow), running its implications on sim. It returns
 // the PI cube (tri per PI, in PI order), the number of backtracks, and
-// the outcome.
+// the outcome. The cube is search-owned scratch, valid until the next
+// podem call — the callers concretize it (fillCube/sliceTest) before
+// targeting the next fault.
 func (e *search) podem(sim planeSim, sites []netlist.FaultSite, maxBacktracks int) ([]tri, int, podemStatus) {
 	e.sites = sites
 	for id := range e.siteAt {
@@ -227,16 +234,18 @@ func (e *search) podem(sim planeSim, sites []netlist.FaultSite, maxBacktracks in
 	}
 	sim.arm(sites)
 
-	assign := make([]tri, len(e.nl.PIs))
+	assign := engine.Grow(e.assign, len(e.nl.PIs))
+	e.assign = assign
 	for i := range assign {
 		assign[i] = xx
 	}
-	var stack []decision
+	stack := e.stack[:0]
 	backtracks := 0
 
 	for {
 		sim.imply(assign)
 		if e.detected() {
+			e.stack = stack
 			return assign, backtracks, statusDetected
 		}
 		objGate, objVal, ok := e.objective()
@@ -255,6 +264,7 @@ func (e *search) podem(sim planeSim, sites []netlist.FaultSite, maxBacktracks in
 			if !top.flipped {
 				backtracks++
 				if backtracks > maxBacktracks {
+					e.stack = stack
 					return nil, backtracks, statusAborted
 				}
 				top.flipped = true
@@ -267,6 +277,7 @@ func (e *search) podem(sim planeSim, sites []netlist.FaultSite, maxBacktracks in
 			stack = stack[:len(stack)-1]
 		}
 		if !flipped {
+			e.stack = stack
 			return nil, backtracks, statusRedundant
 		}
 	}

@@ -98,6 +98,27 @@ func TestIncrementalAppendParity(t *testing.T) {
 				if t.Failed() {
 					t.FailNow()
 				}
+				// Second campaign on the same session: Reset recycles the
+				// armed machines, stimulus buffers and the result view
+				// instead of allocating fresh ones, and the replay must
+				// stay bit-identical to the first pass.
+				inc.Reset()
+				lo = 0
+				for _, n := range lens {
+					if got, err = inc.Append(pats[lo : lo+n]); err != nil {
+						t.Fatalf("%s: recycled Append: %v", ec, err)
+					}
+					lo += n
+				}
+				for i := range want.FirstDetected {
+					if got.FirstDetected[i] != want.FirstDetected[i] {
+						t.Errorf("%s: fault %d detected at %d on the recycled session, want %d",
+							ec, i, got.FirstDetected[i], want.FirstDetected[i])
+					}
+				}
+				if t.Failed() {
+					t.FailNow()
+				}
 			}
 		})
 	}

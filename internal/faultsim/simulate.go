@@ -16,6 +16,11 @@ import (
 type Pattern []uint8
 
 // Result is the outcome of fault-simulating an ordered test set.
+//
+// Ownership follows the session contract (package engine): Run and RunOn
+// return a caller-owned Result, while Append and AppendTest return a
+// session-owned view that the next call on the same Simulator overwrites
+// — Clone it to retain it across calls.
 type Result struct {
 	Faults []Fault
 	// FirstDetected[i] is the index (pattern index for combinational
@@ -24,6 +29,16 @@ type Result struct {
 	FirstDetected []int
 	// Patterns is the number of applied patterns/cycles.
 	Patterns int
+}
+
+// Clone returns a caller-owned deep copy, detached from any simulator
+// session. The Faults list is shared — it is immutable session input.
+func (r *Result) Clone() *Result {
+	return &Result{
+		Faults:        r.Faults,
+		FirstDetected: append([]int(nil), r.FirstDetected...),
+		Patterns:      r.Patterns,
+	}
 }
 
 // DetectedCount returns the number of detected faults.
@@ -125,6 +140,62 @@ type Simulator struct {
 	refSeq   []Pattern                 // accumulated stimulus (reference sequential replay)
 	testMode bool                      // session is in AppendTest (reset-per-test) discipline
 	err      error                     // sticky failure from a cancelled/failed Append
+
+	// Session-owned scratch, recycled across windows so a warm Append
+	// allocates nothing (see the engine package's ownership contract).
+	// Only the owning session touches these between calls; the parallel
+	// sections read them but never grow them.
+	res     Result                      // the view snapshot() refreshes per window
+	incAll  []int                       // Reset's full-fault-list include buffer
+	goodPOs [][]uint64                  // good-trace PO rows for the current window
+	errs    []error                     // per-batch error slots for the current window
+	stim    seqStim                     // per-width broadcast stimulus buffers
+	combSc  any                         // *combScratch[W]: pattern-parallel window buffers
+	freeW1  []*netlist.Machine[lane.W1] // per-width armed-machine free
+	freeW4  []*netlist.Machine[lane.W4] // lists: retired batches return
+	freeW8  []*netlist.Machine[lane.W8] // machines here, arming redraws
+}
+
+// freeList returns the session's machine free list at width W (the same
+// any-cast stencil trick as stimFor).
+func freeList[W lane.Word](s *Simulator) *[]*netlist.Machine[W] {
+	var w W
+	switch len(w) {
+	case 4:
+		return any(&s.freeW4).(*[]*netlist.Machine[W])
+	case 8:
+		return any(&s.freeW8).(*[]*netlist.Machine[W])
+	default:
+		return any(&s.freeW1).(*[]*netlist.Machine[W])
+	}
+}
+
+// getMachine draws a sanitized machine from the width-W free list, or
+// builds one when the list is dry. Recycled machines are exactly fresh
+// ones: ClearFaults restores the clean fast path, Reset restores power-on
+// flip-flop state, and net values are recomputed from scratch every Eval.
+// Serial session code only — the free lists are not locked.
+func getMachine[W lane.Word](s *Simulator) *netlist.Machine[W] {
+	lst := freeList[W](s)
+	if n := len(*lst); n > 0 {
+		m := (*lst)[n-1]
+		(*lst)[n-1] = nil
+		*lst = (*lst)[:n-1]
+		m.ClearFaults()
+		m.Reset()
+		return m
+	}
+	return netlist.NewMachine[W](s.prog)
+}
+
+// putMachine returns a machine to the width-W free list. Serial session
+// code only.
+func putMachine[W lane.Word](s *Simulator, m *netlist.Machine[W]) {
+	if m == nil {
+		return
+	}
+	lst := freeList[W](s)
+	*lst = append(*lst, m)
 }
 
 // New builds a fault simulator with the default configuration. The fault
@@ -188,40 +259,44 @@ func (s *Simulator) Frontier() []int { return append([]int(nil), s.live...) }
 // live and zero patterns applied. It also clears any sticky error left
 // by a cancelled Append.
 func (s *Simulator) Reset() {
-	include := make([]int, len(s.faults))
-	for i := range include {
-		include[i] = i
+	s.incAll = engine.Grow(s.incAll, len(s.faults))
+	for i := range s.incAll {
+		s.incAll[i] = i
 	}
-	s.resetTo(include)
+	s.resetTo(s.incAll)
 }
 
 // resetTo restarts the session with the given (validated, owned) fault
-// subset as the frontier.
+// subset as the frontier. Scratch buffers and armed machines are
+// recycled, not dropped: each retiring batch returns its machine to the
+// session free list before the new plan redraws.
 func (s *Simulator) resetTo(include []int) {
 	s.applied = 0
 	s.err = nil
 	s.testMode = false
-	s.detected = make([]int, len(s.faults))
+	s.detected = engine.Grow(s.detected, len(s.faults))
 	for i := range s.detected {
 		s.detected[i] = -1
 	}
 	s.live = include
-	s.refSeq = nil
-	s.batches = nil
-	s.batchFor = nil
+	s.refSeq = s.refSeq[:0]
+	for _, b := range s.batches {
+		b.release(s)
+	}
+	s.batches = s.batches[:0]
 	if s.goodM != nil {
 		s.goodM.Reset()
 		s.batches = s.planBatches(include)
 	}
 }
 
-// snapshot returns the cumulative session result; the caller owns it.
+// snapshot refreshes and returns the session-owned cumulative result
+// view (see the Result ownership comment).
 func (s *Simulator) snapshot() *Result {
-	return &Result{
-		Faults:        s.faults,
-		FirstDetected: append([]int(nil), s.detected...),
-		Patterns:      s.applied,
-	}
+	s.res.Faults = s.faults
+	s.res.FirstDetected = append(s.res.FirstDetected[:0], s.detected...)
+	s.res.Patterns = s.applied
+	return &s.res
 }
 
 // Run fault-simulates the ordered test set from power-on reset and
@@ -230,10 +305,15 @@ func (s *Simulator) snapshot() *Result {
 // treat the whole set as one sequence applied from power-on reset,
 // simulated W×64 faults at a time (parallel-fault, one fault machine per
 // lane) with per-lane fault dropping at first detection. W is the
-// configured LaneWords. Run is exactly Reset followed by Append.
+// configured LaneWords. Run is exactly Reset followed by Append; unlike
+// Append, the returned Result is caller-owned.
 func (s *Simulator) Run(tests []Pattern) (*Result, error) {
 	s.Reset()
-	return s.Append(tests)
+	res, err := s.Append(tests)
+	if err != nil {
+		return nil, err
+	}
+	return res.Clone(), nil
 }
 
 // RunOn is Run restricted to the faults whose indices are listed (nil
@@ -242,6 +322,7 @@ func (s *Simulator) Run(tests []Pattern) (*Result, error) {
 // batches. Excluded faults keep FirstDetected == -1. Fault-dropping
 // callers (ATPG) use it to re-simulate only still-alive faults. The
 // session continues from the subset: a later Append extends this run.
+// Like Run, the returned Result is caller-owned.
 func (s *Simulator) RunOn(tests []Pattern, include []int) (*Result, error) {
 	if include == nil {
 		return s.Run(tests)
@@ -257,7 +338,11 @@ func (s *Simulator) RunOn(tests []Pattern, include []int) (*Result, error) {
 		seen[fi] = true
 	}
 	s.resetTo(append([]int(nil), include...))
-	return s.Append(tests)
+	res, err := s.Append(tests)
+	if err != nil {
+		return nil, err
+	}
+	return res.Clone(), nil
 }
 
 // Append extends the applied sequence with the given tests and returns
@@ -269,6 +354,12 @@ func (s *Simulator) RunOn(tests []Pattern, include []int) (*Result, error) {
 // concatenation. A cancelled (engine.Options.Ctx) or failed Append
 // poisons the session — every later Append reports the same error until
 // Reset/Run/RunOn restarts it.
+//
+// The returned Result is a session-owned view: the next call on this
+// Simulator overwrites it. Read it before the next call, or Clone it to
+// retain it — the round-by-round callers (incremental generation, ATPG
+// top-off) read coverage and move on, which is why a warm Append
+// allocates nothing.
 func (s *Simulator) Append(tests []Pattern) (*Result, error) {
 	// Sticky poisoning wins over the discipline check: a cancelled
 	// AppendTest must keep reporting its own error, not misuse.
@@ -291,7 +382,8 @@ func (s *Simulator) Append(tests []Pattern) (*Result, error) {
 // Reset/Run/RunOn: a plain Append would silently mean something
 // different on each engine, so it is rejected instead. On combinational
 // circuits patterns are independent anyway and AppendTest is identical
-// to Append.
+// to Append. The returned Result is the same session-owned view Append
+// returns.
 func (s *Simulator) AppendTest(test []Pattern) (*Result, error) {
 	if !s.nl.IsSequential() {
 		return s.appendWindow(test, false)
@@ -368,13 +460,15 @@ func (s *Simulator) Retire(fi int) error {
 		return nil
 	}
 	if b, ok := s.batchFor[fi]; ok {
-		b.dropLane(fi)
+		b.dropLane(s, fi)
 	}
 	return nil
 }
 
 // prune drops detected faults from the frontier and retired batches from
-// the schedule.
+// the schedule, returning each retired batch's machine to the session
+// free list (prune runs serially after the parallel section, so it is
+// the safe place to touch the lists).
 func (s *Simulator) prune() {
 	liveOut := s.live[:0]
 	for _, fi := range s.live {
@@ -390,8 +484,9 @@ func (s *Simulator) prune() {
 				batchOut = append(batchOut, b)
 				continue
 			}
+			b.release(s)
 			// Drop the lane index entries too, so a retired batch shell
-			// (fault list, masks) is actually GC-released, not pinned by
+			// (fault list, masks) is actually released, not pinned by
 			// the map.
 			for _, fi := range b.faultList() {
 				delete(s.batchFor, fi)
@@ -427,16 +522,38 @@ func (s *Simulator) appendCombinational(tests []Pattern) error {
 	}
 }
 
+// combScratch is the session-owned window scratch of the pattern-parallel
+// path: the packed PI vector batches and the good-machine PO rows per
+// batch, rewritten per Append. The parallel section reads both but never
+// grows them.
+type combScratch[W lane.Word] struct {
+	batchPIs  [][]W
+	batchGood [][]W
+}
+
+// combScratchFor returns the session's width-W combinational scratch,
+// creating it on first use (the session width never changes, so the any
+// indirection resolves to the same value every call).
+func combScratchFor[W lane.Word](s *Simulator) *combScratch[W] {
+	if sc, ok := s.combSc.(*combScratch[W]); ok {
+		return sc
+	}
+	sc := &combScratch[W]{}
+	s.combSc = sc
+	return sc
+}
+
 // packPatternBatches packs the test set into W×64-pattern PI vector
-// batches (lane k·64+t of every vector is pattern lo+k·64+t).
-func packPatternBatches[W lane.Word](s *Simulator, tests []Pattern) [][]W {
+// batches (lane k·64+t of every vector is pattern lo+k·64+t) into a
+// reusable buffer.
+func packPatternBatches[W lane.Word](s *Simulator, tests []Pattern, out [][]W) [][]W {
 	L := lane.Count[W]()
 	nBatches := (len(tests) + L - 1) / L
-	out := make([][]W, nBatches)
+	out = engine.Grow(out, nBatches)
 	for b := 0; b < nBatches; b++ {
 		lo := b * L
 		hi := min(lo+L, len(tests))
-		words := make([]W, len(s.nl.PIs))
+		words := engine.Grow(out[b], len(s.nl.PIs))
 		for pi := range words {
 			var w W
 			for ln, t := lo, 0; ln < hi; ln, t = ln+1, t+1 {
@@ -451,15 +568,21 @@ func packPatternBatches[W lane.Word](s *Simulator, tests []Pattern) [][]W {
 	return out
 }
 
-// broadcastWords converts each pattern to PI vectors replicated across
-// all lanes (the sequential stimulus: every lane applies the same cycle).
-func broadcastWords[W lane.Word](s *Simulator, tests []Pattern) [][]W {
-	out := make([][]W, len(tests))
+// broadcastInto converts each pattern to PI vectors replicated across
+// all lanes (the sequential stimulus: every lane applies the same cycle)
+// into a reusable buffer — the session keeps one per width, so a warm
+// window rewrites rows in place instead of allocating them.
+func broadcastInto[W lane.Word](s *Simulator, tests []Pattern, out [][]W) [][]W {
+	var zero W
+	one := lane.Broadcast[W](allLanes)
+	out = engine.Grow(out, len(tests))
 	for cyc, p := range tests {
-		words := make([]W, len(s.nl.PIs))
+		words := engine.Grow(out[cyc], len(s.nl.PIs))
 		for pi, v := range p {
 			if v != 0 {
-				words[pi] = lane.Broadcast[W](allLanes)
+				words[pi] = one
+			} else {
+				words[pi] = zero
 			}
 		}
 		out[cyc] = words
@@ -485,14 +608,17 @@ func combMachines[W lane.Word](s *Simulator, n int) []*netlist.Machine[W] {
 // detection, fanned over a worker pool with a private Machine per worker.
 // Detection indices are offset by the patterns already applied.
 func appendCombLanes[W lane.Word](s *Simulator, tests []Pattern) error {
-	batchPIs := packPatternBatches[W](s, tests)
+	sc := combScratchFor[W](s)
+	sc.batchPIs = packPatternBatches[W](s, tests, sc.batchPIs)
+	batchPIs := sc.batchPIs
 	workers := par.Workers(s.cfg.Workers, len(s.live))
 	machines := combMachines[W](s, max(workers, 1))
 	goodM := machines[0]
 	goodM.ClearFaults()
-	batchGood := make([][]W, len(batchPIs))
+	sc.batchGood = engine.Grow(sc.batchGood, len(batchPIs))
+	batchGood := sc.batchGood
 	for b, words := range batchPIs {
-		batchGood[b] = append([]W(nil), goodM.Eval(words)...)
+		batchGood[b] = append(batchGood[b][:0], goodM.Eval(words)...)
 	}
 
 	L := lane.Count[W]()
@@ -593,8 +719,12 @@ func (s *Simulator) planSeqChunks(n int) []seqChunk {
 // planning, so Retire can go straight to the owning batch).
 func (s *Simulator) planBatches(include []int) []seqBatch {
 	chunks := s.planSeqChunks(len(include))
-	out := make([]seqBatch, 0, len(chunks))
-	s.batchFor = make(map[int]seqBatch, len(include))
+	out := s.batches[:0]
+	if s.batchFor == nil {
+		s.batchFor = make(map[int]seqBatch, len(include))
+	} else {
+		clear(s.batchFor)
+	}
 	for _, c := range chunks {
 		faults := append([]int(nil), include[c.lo:c.hi]...)
 		var b seqBatch
@@ -622,12 +752,20 @@ type seqBatch interface {
 	run(s *Simulator, st *seqStim, goodPOs [][]uint64, base int, ctx context.Context) error
 	width() int
 	retired() bool
+	// arm draws and injects the batch machine if the batch is unarmed and
+	// not retired. Serial session code only — it touches the machine free
+	// lists, which run() (on a pool worker) must not.
+	arm(s *Simulator)
 	// resetState rewinds the armed machine to power-on reset, keeping the
 	// injected faults and drop masks (the AppendTest discipline).
 	resetState()
 	// dropLane frees the lane holding the given fault without recording a
-	// detection; it reports whether the fault was this batch's.
-	dropLane(fault int) bool
+	// detection; it reports whether the fault was this batch's. Serial
+	// session code only (it may release the machine).
+	dropLane(s *Simulator, fault int) bool
+	// release returns the batch machine, if any, to the session free list.
+	// Serial session code only.
+	release(s *Simulator)
 	// faultList exposes the batch's lane-ordered fault indices (prune
 	// uses it to unindex retired batches).
 	faultList() []int
@@ -636,15 +774,16 @@ type seqBatch interface {
 // seqBatchW is the per-width batch state. Each live batch owns its
 // machine across Appends: arming (injecting up to W×64 fault sites)
 // happens once per session, the machine's flip-flop state carries the
-// trace forward for free, and retiring a batch releases the machine to
-// the GC. The per-batch memory (one value array per W×64 faults) is a
-// few kilobytes for the benchmark circuits — far cheaper than
-// re-injecting the whole batch on every Append, which dominates small
-// sequential circuits under fine-grained (segment-sized) appends.
+// trace forward for free, and a retiring batch returns its machine to
+// the session's per-width free list for the next plan to redraw. The
+// per-batch memory (one value array per W×64 faults) is a few kilobytes
+// for the benchmark circuits — far cheaper than re-injecting the whole
+// batch on every Append, which dominates small sequential circuits under
+// fine-grained (segment-sized) appends.
 type seqBatchW[W lane.Word] struct {
 	faults []int
 	active W
-	m      *netlist.Machine[W] // armed lazily at the first run; nil once retired
+	m      *netlist.Machine[W] // armed before the first run; nil once retired
 	done   bool                // every lane dropped; the batch is retired
 }
 
@@ -652,13 +791,31 @@ func (c *seqBatchW[W]) width() int       { var w W; return len(w) }
 func (c *seqBatchW[W]) retired() bool    { return c.done }
 func (c *seqBatchW[W]) faultList() []int { return c.faults }
 
+func (c *seqBatchW[W]) arm(s *Simulator) {
+	if c.m != nil || c.done {
+		return
+	}
+	m := getMachine[W](s)
+	for ln, fi := range c.faults {
+		m.InjectFault(s.faults[fi].Site, lane.Bit[W](ln))
+	}
+	c.m = m
+}
+
 func (c *seqBatchW[W]) resetState() {
 	if c.m != nil {
 		c.m.Reset()
 	}
 }
 
-func (c *seqBatchW[W]) dropLane(fault int) bool {
+func (c *seqBatchW[W]) release(s *Simulator) {
+	if c.m != nil {
+		putMachine(s, c.m)
+		c.m = nil
+	}
+}
+
+func (c *seqBatchW[W]) dropLane(s *Simulator, fault int) bool {
 	for ln, fi := range c.faults {
 		if fi != fault {
 			continue
@@ -666,7 +823,7 @@ func (c *seqBatchW[W]) dropLane(fault int) bool {
 		c.active[ln>>6] &^= 1 << uint(ln&63)
 		if lane.None(c.active) {
 			c.done = true
-			c.m = nil
+			c.release(s)
 		}
 		return true
 	}
@@ -675,23 +832,16 @@ func (c *seqBatchW[W]) dropLane(fault int) bool {
 
 // run advances this batch over the new cycles: evaluate each cycle
 // against the good trace with per-lane dropping, retiring the batch once
-// every lane has dropped. The machine continues from its own state, so a
-// chunked run replays nothing. Detection indices are base plus the local
-// cycle.
+// every lane has dropped (the machine itself is handed back to the free
+// list by the serial prune that follows, since run executes on a pool
+// worker). The machine continues from its own state, so a chunked run
+// replays nothing; arm() has already injected it. Detection indices are
+// base plus the local cycle.
 func (c *seqBatchW[W]) run(s *Simulator, st *seqStim, goodPOs [][]uint64, base int, ctx context.Context) error {
 	if c.done {
 		return nil // retired via dropLane; prune removes it next
 	}
 	m := c.m
-	if m == nil {
-		// First window: a fresh machine is in power-on reset; arm the
-		// whole lane batch once for the session's lifetime.
-		m = netlist.NewMachine[W](s.prog)
-		for ln, fi := range c.faults {
-			m.InjectFault(s.faults[fi].Site, lane.Bit[W](ln))
-		}
-		c.m = m
-	}
 	// The drop masks live in registers/stack for the window (the batch
 	// field would force a memory round-trip per word per cycle on the
 	// hottest loop in the simulator) and are written back on exit.
@@ -729,7 +879,6 @@ func (c *seqBatchW[W]) run(s *Simulator, st *seqStim, goodPOs [][]uint64, base i
 		if !anyActive {
 			c.active = active
 			c.done = true
-			c.m = nil
 			return nil
 		}
 		m.Clock()
@@ -738,8 +887,10 @@ func (c *seqBatchW[W]) run(s *Simulator, st *seqStim, goodPOs [][]uint64, base i
 	return nil
 }
 
-// seqStim holds the per-width broadcast stimuli for one Append window;
-// only the widths live batches need are materialized.
+// seqStim holds the per-width broadcast stimulus buffers, owned by the
+// session and rewritten per Append window; only the widths live batches
+// need are materialized (a stale wider buffer is simply not read once
+// its last batch retires).
 type seqStim struct {
 	w1 [][]lane.W1
 	w4 [][]lane.W4
@@ -778,14 +929,16 @@ func (s *Simulator) appendSequential(tests []Pattern, fromReset bool) error {
 			b.resetState()
 		}
 	}
-	pi1 := broadcastWords[lane.W1](s, tests)
-	goodPOs := make([][]uint64, len(tests))
+	s.stim.w1 = broadcastInto[lane.W1](s, tests, s.stim.w1)
+	pi1 := s.stim.w1
+	goodPOs := engine.Grow(s.goodPOs, len(tests))
+	s.goodPOs = goodPOs
 	for cyc, words := range pi1 {
 		if ctx != nil && cyc&31 == 31 && ctx.Err() != nil {
 			return ctx.Err()
 		}
 		out := s.goodM.Eval(words)
-		row := make([]uint64, len(out))
+		row := engine.Grow(goodPOs[cyc], len(out))
 		for po := range out {
 			row[po] = out[po][0]
 		}
@@ -793,20 +946,50 @@ func (s *Simulator) appendSequential(tests []Pattern, fromReset bool) error {
 		s.goodM.Clock()
 	}
 
-	// Broadcast stimuli per width actually scheduled.
-	st := &seqStim{w1: pi1}
+	// Arm unarmed batches (first window after a plan) and materialize the
+	// broadcast stimuli per width actually scheduled — both serially,
+	// before the fan-out, because arming touches the machine free lists.
+	need4, need8 := false, false
 	for _, b := range s.batches {
-		switch {
-		case b.width() == 4 && st.w4 == nil:
-			st.w4 = broadcastWords[lane.W4](s, tests)
-		case b.width() == 8 && st.w8 == nil:
-			st.w8 = broadcastWords[lane.W8](s, tests)
+		if b.retired() {
+			continue
+		}
+		b.arm(s)
+		switch b.width() {
+		case 4:
+			need4 = true
+		case 8:
+			need8 = true
 		}
 	}
+	if need4 {
+		s.stim.w4 = broadcastInto[lane.W4](s, tests, s.stim.w4)
+	}
+	if need8 {
+		s.stim.w8 = broadcastInto[lane.W8](s, tests, s.stim.w8)
+	}
+	st := &s.stim
 
 	base := s.applied
 	total := len(s.batches)
-	errs := make([]error, len(s.batches))
+	if par.Workers(s.cfg.Workers, total) <= 1 {
+		// Serial fast path: the common steady state of an incremental
+		// campaign is one or two live batches, where the pool fan-out
+		// (closures, coordination) is the only allocation left — a warm
+		// single-batch Append is allocation-free through here.
+		for bi, b := range s.batches {
+			if ctx != nil && ctx.Err() != nil {
+				return ctx.Err()
+			}
+			if err := b.run(s, st, goodPOs, base, ctx); err != nil {
+				return err
+			}
+			s.cfg.Report(bi+1, total)
+		}
+		return nil
+	}
+	errs := engine.GrowZero(s.errs, len(s.batches))
+	s.errs = errs
 	err := par.IndexedCtx(ctx, len(s.batches), s.cfg.Workers, func(_, bi int) {
 		errs[bi] = s.batches[bi].run(s, st, goodPOs, base, ctx)
 	}, func(done int) { s.cfg.Report(done, total) })

@@ -37,16 +37,26 @@ type Config struct {
 func (cfg Config) legacy() bool { return cfg.Serial() }
 
 // Scorer scores one mutant population against arbitrary sequences. The
-// compiled engine's programs are built once at construction, so callers
-// that score repeatedly (strategy evaluation, equivalence campaigns)
-// amortize compilation. A Scorer is safe for sequential reuse; methods
-// are deterministic for every worker count.
+// compiled engine's programs are built once at construction, and the
+// execution state — one machine per mutant, the good machine and its
+// trace buffer — is built on first use and recycled across calls, so
+// callers that score repeatedly (strategy evaluation, equivalence
+// campaigns) allocate per campaign, not per sequence. A Scorer is safe
+// for sequential reuse only (its scratch is unsynchronized); methods are
+// deterministic for every worker count.
 type Scorer struct {
 	cfg     Config
 	c       *hdl.Circuit
 	mutants []*mutation.Mutant
 	good    *sim.Program   // nil on the legacy path
 	progs   []*sim.Program // nil on the legacy path
+
+	// Session-owned scratch (see internal/engine: the session owns its
+	// scratch; results handed to callers stay freshly allocated).
+	goodM    *sim.Machine   // good-trace machine, reused across calls
+	goodOuts []sim.Vector   // good trace rows, reused across calls
+	machines []*sim.Machine // per-mutant machines, armed lazily
+	subM     []*sim.Machine // subset-call machine selection scratch
 }
 
 // NewScorer builds a scorer for the population. Under the legacy
@@ -90,6 +100,32 @@ func (s *Scorer) wrapBatchErr(err error, idx []int) error {
 	return fmt.Errorf("mutscore: mutant %d (%s): %w", mi, s.mutants[mi].Desc, be.Err)
 }
 
+// goodTrace refreshes the scorer's reusable good-circuit trace for the
+// sequence; the rows are session scratch, valid until the next call.
+func (s *Scorer) goodTrace(seq sim.Sequence) ([]sim.Vector, error) {
+	if s.goodM == nil {
+		s.goodM = s.good.NewMachine()
+	}
+	outs, err := s.goodM.RunInto(seq, s.goodOuts)
+	if err != nil {
+		return nil, err
+	}
+	s.goodOuts = outs
+	return outs, nil
+}
+
+// allMachines returns the scorer's per-mutant machine set, arming it on
+// first use (one machine per compiled program, recycled across calls).
+func (s *Scorer) allMachines() []*sim.Machine {
+	if s.machines == nil {
+		s.machines = make([]*sim.Machine, len(s.progs))
+		for i, p := range s.progs {
+			s.machines[i] = p.NewMachine()
+		}
+	}
+	return s.machines
+}
+
 // FirstKillCycles runs every mutant against the sequence and returns, per
 // mutant, the first cycle whose outputs differ from the original's, or -1
 // if the sequence never distinguishes it.
@@ -97,11 +133,11 @@ func (s *Scorer) FirstKillCycles(seq sim.Sequence) ([]int, error) {
 	if s.cfg.legacy() {
 		return firstKillCyclesSerial(s.c, s.mutants, seq, s.cfg.Options)
 	}
-	goodOuts, err := s.good.NewMachine().Run(seq)
+	goodOuts, err := s.goodTrace(seq)
 	if err != nil {
 		return nil, err
 	}
-	cycles, err := sim.FirstKillBatch(s.progs, seq, goodOuts, s.cfg.Options)
+	cycles, err := sim.FirstKillBatchMachines(s.allMachines(), seq, goodOuts, s.cfg.Options)
 	if err != nil {
 		return nil, s.wrapBatchErr(err, nil)
 	}
@@ -124,15 +160,16 @@ func (s *Scorer) Kills(seq sim.Sequence) ([]bool, error) {
 // killsSubset scores only the mutants listed in idx and reports a kill
 // flag per entry of idx, letting a campaign drop already-killed mutants.
 func (s *Scorer) killsSubset(idx []int, seq sim.Sequence) ([]bool, error) {
-	goodOuts, err := s.good.NewMachine().Run(seq)
+	goodOuts, err := s.goodTrace(seq)
 	if err != nil {
 		return nil, err
 	}
-	sub := make([]*sim.Program, len(idx))
+	all := s.allMachines()
+	s.subM = engine.Grow(s.subM, len(idx))
 	for i, mi := range idx {
-		sub[i] = s.progs[mi]
+		s.subM[i] = all[mi]
 	}
-	cycles, err := sim.FirstKillBatch(sub, seq, goodOuts, s.cfg.Options)
+	cycles, err := sim.FirstKillBatchMachines(s.subM, seq, goodOuts, s.cfg.Options)
 	if err != nil {
 		return nil, s.wrapBatchErr(err, idx)
 	}

@@ -22,6 +22,7 @@ import (
 	"math/bits"
 
 	"repro/internal/bitvec"
+	"repro/internal/engine"
 	"repro/internal/hdl"
 )
 
@@ -416,12 +417,21 @@ func (m *Machine) Reset() {
 
 // Snapshot captures the register state in the same order as
 // Simulator.Snapshot, so snapshots from either engine are interchangeable.
+// The returned slice is freshly allocated; hot loops use SnapshotInto.
 func (m *Machine) Snapshot() []bitvec.BV {
-	out := make([]bitvec.BV, len(m.p.regSlots))
+	return m.SnapshotInto(nil)
+}
+
+// SnapshotInto is Snapshot into a reusable buffer: dst's storage is kept
+// when its capacity suffices, so a candidate-probe loop snapshots without
+// allocating after warm-up. The returned slice (which may differ from
+// dst) is valid until the next SnapshotInto on the same buffer.
+func (m *Machine) SnapshotInto(dst []bitvec.BV) []bitvec.BV {
+	dst = engine.Grow(dst, len(m.p.regSlots))
 	for i, id := range m.p.regSlots {
-		out[i] = m.env[id]
+		dst[i] = m.env[id]
 	}
-	return out
+	return dst
 }
 
 // Restore rewinds the register state to a snapshot taken on this program.
@@ -485,18 +495,27 @@ func (m *Machine) StepInto(in Vector, out Vector) error {
 }
 
 // Run resets the machine and applies the whole sequence, returning one
-// output vector per cycle.
+// output vector per cycle. The rows are freshly allocated; trace loops
+// that rerun the same machine use RunInto.
 func (m *Machine) Run(seq Sequence) ([]Vector, error) {
+	return m.RunInto(seq, nil)
+}
+
+// RunInto is Run into a reusable trace buffer: outs and its rows are
+// recycled when their capacity suffices, so a campaign that re-traces the
+// good circuit every round stops allocating after warm-up. The returned
+// trace (which may differ from outs) is valid until the next RunInto on
+// the same buffer.
+func (m *Machine) RunInto(seq Sequence, outs []Vector) ([]Vector, error) {
 	m.Reset()
-	out := make([]Vector, 0, len(seq))
+	outs = engine.Grow(outs, len(seq))
 	for i, vec := range seq {
-		o, err := m.Step(vec)
-		if err != nil {
+		outs[i] = engine.Grow(outs[i], len(m.p.outSlots))
+		if err := m.StepInto(vec, outs[i]); err != nil {
 			return nil, fmt.Errorf("cycle %d: %w", i, err)
 		}
-		out = append(out, o)
 	}
-	return out, nil
+	return outs, nil
 }
 
 // exec interprets one instruction stream against the machine state.

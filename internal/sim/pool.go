@@ -68,22 +68,40 @@ func CompileBatch(cs []*hdl.Circuit, workers int) ([]*Program, error) {
 // (and between cycles inside a batch) with the context's error. A
 // program that fails mid-sequence reports its error and drops; the rest
 // of its batch keeps scoring.
+//
+// FirstKillBatch instantiates one Machine per program per call. Callers
+// that score the same programs repeatedly (equivalence campaigns) hold
+// the machines themselves and use FirstKillBatchMachines.
 func FirstKillBatch(progs []*Program, seq Sequence, goodOuts []Vector, opts engine.Options) ([]int, error) {
+	machines := make([]*Machine, len(progs))
+	for i, p := range progs {
+		machines[i] = p.NewMachine()
+	}
+	return FirstKillBatchMachines(machines, seq, goodOuts, opts)
+}
+
+// FirstKillBatchMachines is FirstKillBatch over caller-owned machines
+// (one per program, reused across calls — each is Reset to power-on
+// before it scores). Within a call every machine belongs to exactly one
+// lane batch, so concurrent pool jobs never share one; the machines are
+// free for the caller to reuse as soon as the call returns. The result
+// slice is freshly allocated and caller-owned.
+func FirstKillBatchMachines(machines []*Machine, seq Sequence, goodOuts []Vector, opts engine.Options) ([]int, error) {
 	words, err := opts.Lanes()
 	if err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
 	L := words * 64
-	out := make([]int, len(progs))
-	errs := make([]error, len(progs))
-	nBatches := (len(progs) + L - 1) / L
-	workers := par.Workers(opts.Workers, nBatches)
-	scratch := make([]Vector, max(workers, 1))
+	out := make([]int, len(machines))
+	errs := make([]error, len(machines))
+	nBatches := (len(machines) + L - 1) / L
 	ctxErrs := make([]error, nBatches)
-	err = par.IndexedCtx(opts.Ctx, nBatches, opts.Workers, func(w, b int) {
+	err = par.IndexedCtx(opts.Ctx, nBatches, opts.Workers, func(_, b int) {
 		lo := b * L
-		hi := min(lo+L, len(progs))
-		ctxErrs[b] = firstKillLockstep(progs[lo:hi], seq, goodOuts, out[lo:hi], errs[lo:hi], &scratch[w], opts.Ctx)
+		hi := min(lo+L, len(machines))
+		sc := lockstepPool.Get()
+		ctxErrs[b] = firstKillLockstep(machines[lo:hi], seq, goodOuts, out[lo:hi], errs[lo:hi], sc, opts.Ctx)
+		lockstepPool.Put(sc)
 	}, func(done int) { opts.Report(done, nBatches) })
 	if err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
@@ -99,27 +117,37 @@ func FirstKillBatch(progs []*Program, seq Sequence, goodOuts []Vector, opts engi
 	return out, nil
 }
 
+// lockstepScratch is the per-batch scratch of one lockstep job: the
+// output vector every lane steps into and the per-lane alive mask. Jobs
+// land on arbitrary pool workers, so the buffers cross goroutines and
+// are recycled through an engine.Pool — each job owns its scratch
+// exclusively between Get and Put (the -race pool tests pin this).
+type lockstepScratch struct {
+	out   Vector
+	alive []uint64
+}
+
+var lockstepPool = engine.NewPool(func() *lockstepScratch { return &lockstepScratch{} })
+
 // firstKillLockstep scores one lane batch: every machine advances one
 // cycle before any machine sees the next, so the reference row goodOuts
 // is read once per cycle for the whole batch. alive is a per-lane mask;
 // killed and failed lanes drop out of the stepping loop immediately, and
 // the batch returns once no lane is alive.
-func firstKillLockstep(batch []*Program, seq Sequence, goodOuts []Vector, out []int, errs []error, scratch *Vector, ctx context.Context) error {
-	machines := make([]*Machine, len(batch))
+func firstKillLockstep(machines []*Machine, seq Sequence, goodOuts []Vector, out []int, errs []error, sc *lockstepScratch, ctx context.Context) error {
 	maxOuts := 0
-	for j, p := range batch {
-		machines[j] = p.NewMachine()
+	for j, m := range machines {
+		m.Reset()
 		out[j] = -1
-		maxOuts = max(maxOuts, p.NumOutputs())
+		maxOuts = max(maxOuts, m.p.NumOutputs())
 	}
-	if cap(*scratch) < maxOuts {
-		*scratch = make(Vector, maxOuts)
-	}
-	alive := make([]uint64, (len(batch)+63)/64)
-	for j := range batch {
+	sc.out = engine.Grow(sc.out, maxOuts)
+	alive := engine.GrowZero(sc.alive, (len(machines)+63)/64)
+	sc.alive = alive
+	for j := range machines {
 		alive[j>>6] |= 1 << uint(j&63)
 	}
-	remaining := len(batch)
+	remaining := len(machines)
 	for cyc, v := range seq {
 		if ctx != nil && cyc&31 == 31 && ctx.Err() != nil {
 			return ctx.Err()
@@ -131,11 +159,10 @@ func firstKillLockstep(batch []*Program, seq Sequence, goodOuts []Vector, out []
 				rest &^= 1 << bit
 				j := k*64 + int(bit)
 				m := machines[j]
-				got := (*scratch)[:m.p.NumOutputs()]
+				got := sc.out[:m.p.NumOutputs()]
 				if err := m.StepInto(v, got); err != nil {
 					errs[j] = err
 					alive[k] &^= 1 << bit
-					machines[j] = nil // release dropped state to the GC
 					remaining--
 					continue
 				}
@@ -144,7 +171,6 @@ func firstKillLockstep(batch []*Program, seq Sequence, goodOuts []Vector, out []
 					if !got[o].Equal(want[o]) {
 						out[j] = cyc
 						alive[k] &^= 1 << bit
-						machines[j] = nil
 						remaining--
 						break
 					}

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"repro/internal/bitvec"
+	"repro/internal/engine"
 	"repro/internal/faultsim"
 	"repro/internal/hdl"
 	"repro/internal/mutation"
@@ -38,8 +39,29 @@ type Session struct {
 
 	orig     *sim.Machine
 	machines []*sim.Machine // one per population mutant
+	maxOuts  int            // widest output vector across orig and mutants
 
 	fsim *faultsim.Simulator
+
+	sc sessScratch
+}
+
+// sessScratch is the session's reusable campaign scratch, following the
+// buffer-ownership discipline of internal/engine: the session owns these
+// buffers, recycles them across candidate rounds and campaigns, and
+// copies anything that escapes into a Result (accepted segment vectors,
+// the final fault-sim snapshot), so callers still own everything a
+// Generate returns. Without the recycling, every candidate round
+// allocated fresh segments, step outputs and register snapshots — the
+// dominant allocation source of a campaign by two orders of magnitude.
+type sessScratch struct {
+	segs     []sim.Sequence     // candidate segments, one buffer per candidate slot
+	origOuts []sim.Vector       // original's outputs over the candidate being scored
+	snapOrig []bitvec.BV        // original's register snapshot (candidate probe)
+	snapMut  []bitvec.BV        // a mutant's register snapshot (candidate probe)
+	want     sim.Vector         // original's step output (stepAll)
+	got      sim.Vector         // a mutant's step output (stepAll, segKills)
+	pats     []faultsim.Pattern // bit-blasted segment for the attached fault sim
 }
 
 // NewSession compiles the circuit and the whole mutant population under
@@ -72,8 +94,10 @@ func NewSession(c *hdl.Circuit, mutants []*mutation.Mutant, opts *Options) (*Ses
 		return nil, fmt.Errorf("tpg: %w", err)
 	}
 	s.machines = make([]*sim.Machine, len(progs))
+	s.maxOuts = origProg.NumOutputs()
 	for i, p := range progs {
 		s.machines[i] = p.NewMachine()
+		s.maxOuts = max(s.maxOuts, p.NumOutputs())
 	}
 	return s, nil
 }
@@ -133,14 +157,16 @@ func (s *Session) Generate(targets []int, opts *Options) (*Result, error) {
 }
 
 // genRun is one in-progress generation campaign: the run options, the
-// RNG, the live target set and the growing result.
+// RNG, the live target set and the growing result. Its buffers live on
+// the session (sessScratch), so consecutive campaigns recycle them.
 type genRun struct {
-	s   *Session
-	o   Options
-	rng *rand.Rand
-	all []*liveMutant
-	res *Result
-	ins []*hdl.Port
+	s     *Session
+	o     Options
+	rng   *rand.Rand
+	all   []*liveMutant
+	res   *Result
+	ins   []*hdl.Port
+	nOuts int // original's output count (mutants share the port list)
 }
 
 func (r *genRun) generate(targets []int) (*Result, error) {
@@ -154,6 +180,9 @@ func (r *genRun) generate(targets []int) (*Result, error) {
 	}
 	r.res = &Result{Killed: make([]bool, len(targets))}
 	r.ins = s.c.Inputs()
+	r.nOuts = s.orig.Program().NumOutputs()
+	s.sc.want = engine.Grow(s.sc.want, r.nOuts)
+	s.sc.got = engine.Grow(s.sc.got, s.maxOuts)
 
 	// Cycle 0: reset vector, applied to everything.
 	resetVec := make(sim.Vector, len(r.ins))
@@ -183,7 +212,7 @@ func (r *genRun) generate(targets []int) (*Result, error) {
 		if err := r.greedy(); err != nil {
 			return nil, err
 		}
-		return r.res, nil
+		return r.finish(), nil
 	}
 
 	// PerMutant: every target gets a dedicated search for a killing
@@ -210,7 +239,7 @@ func (r *genRun) generate(targets []int) (*Result, error) {
 			var bestSeg sim.Sequence
 			bestKills := -1
 			for ci := 0; ci < r.o.Candidates; ci++ {
-				seg := r.newSegment()
+				seg := r.newSegment(ci)
 				origOuts, err := r.origOutputs(seg)
 				if err != nil {
 					return nil, err
@@ -239,7 +268,17 @@ func (r *genRun) generate(targets []int) (*Result, error) {
 		}
 		r.o.Report(ti+1, len(targets))
 	}
-	return r.res, nil
+	return r.finish(), nil
+}
+
+// finish detaches the result from session-owned state: the cumulative
+// fault-sim snapshot is a view the next Append would overwrite, so the
+// caller gets a clone. Everything else in the result is already fresh.
+func (r *genRun) finish() *Result {
+	if r.res.FaultSim != nil {
+		r.res.FaultSim = r.res.FaultSim.Clone()
+	}
+	return r.res
 }
 
 // greedy maximizes fresh kills per appended segment (best of Candidates).
@@ -253,7 +292,7 @@ func (r *genRun) greedy() error {
 		var bestSeg sim.Sequence
 		bestKills := 0
 		for ci := 0; ci < r.o.Candidates; ci++ {
-			seg := r.newSegment()
+			seg := r.newSegment(ci)
 			origOuts, err := r.origOutputs(seg)
 			if err != nil {
 				return err
@@ -287,14 +326,16 @@ func (r *genRun) cancelled() error {
 
 // stepAll advances the original and every target simulator (killed
 // targets keep stepping so later dedicated segments see true state).
+// Outputs land in session scratch; only the kill flags escape.
 func (r *genRun) stepAll(v sim.Vector) error {
-	want, err := r.s.orig.Step(v)
-	if err != nil {
+	sc := &r.s.sc
+	want := sc.want[:r.nOuts]
+	if err := r.s.orig.StepInto(v, want); err != nil {
 		return err
 	}
 	for _, lm := range r.all {
-		got, err := lm.sim.Step(v)
-		if err != nil {
+		got := sc.got[:lm.sim.Program().NumOutputs()]
+		if err := lm.sim.StepInto(v, got); err != nil {
 			return err
 		}
 		if vectorsDiffer(want, got) {
@@ -304,8 +345,11 @@ func (r *genRun) stepAll(v sim.Vector) error {
 	return nil
 }
 
-func (r *genRun) randVec() sim.Vector {
-	v := make(sim.Vector, len(r.ins))
+// fillRand overwrites v with one cycle of pseudo-random stimulus (reset
+// held low). The RNG draw order matches the pre-scratch randVec exactly —
+// one Uint64 per non-reset input, in declaration order — which keeps
+// generated sequences bit-identical across the buffer recycling.
+func (r *genRun) fillRand(v sim.Vector) {
 	for i, p := range r.ins {
 		if p.Name == ResetInputName {
 			v[i] = bitvec.Zero(p.Width)
@@ -313,33 +357,35 @@ func (r *genRun) randVec() sim.Vector {
 		}
 		v[i] = bitvec.New(r.rng.Uint64(), p.Width)
 	}
-	return v
 }
 
 // origOutputs simulates a candidate segment on the original from the
-// current state (restored afterwards) and returns its outputs.
+// current state (restored afterwards) and returns its outputs. The rows
+// are session scratch, valid until the next candidate is scored.
 func (r *genRun) origOutputs(seg sim.Sequence) ([]sim.Vector, error) {
-	snap := r.s.orig.Snapshot()
-	outs := make([]sim.Vector, len(seg))
+	sc := &r.s.sc
+	sc.snapOrig = r.s.orig.SnapshotInto(sc.snapOrig)
+	outs := engine.Grow(sc.origOuts, len(seg))
+	sc.origOuts = outs
 	for k, v := range seg {
-		out, err := r.s.orig.Step(v)
-		if err != nil {
+		outs[k] = engine.Grow(outs[k], r.nOuts)
+		if err := r.s.orig.StepInto(v, outs[k]); err != nil {
 			return nil, err
 		}
-		outs[k] = out
 	}
-	r.s.orig.Restore(snap)
+	r.s.orig.Restore(sc.snapOrig)
 	return outs, nil
 }
 
 // segKills simulates the segment on one live mutant (state restored)
 // and reports whether its outputs diverge from the original's.
 func (r *genRun) segKills(lm *liveMutant, seg sim.Sequence, origOuts []sim.Vector) (bool, error) {
-	snap := lm.sim.Snapshot()
-	defer lm.sim.Restore(snap)
+	sc := &r.s.sc
+	sc.snapMut = lm.sim.SnapshotInto(sc.snapMut)
+	defer lm.sim.Restore(sc.snapMut)
+	got := sc.got[:lm.sim.Program().NumOutputs()]
 	for k, v := range seg {
-		got, err := lm.sim.Step(v)
-		if err != nil {
+		if err := lm.sim.StepInto(v, got); err != nil {
 			return false, err
 		}
 		if vectorsDiffer(origOuts[k], got) {
@@ -377,25 +423,33 @@ func (r *genRun) liveCount() int {
 	return n
 }
 
-func (r *genRun) newSegment() sim.Sequence {
+// newSegment fills candidate slot ci's reusable segment buffer with
+// fresh random cycles. The returned sequence stays valid for the whole
+// round (each candidate has its own slot), then gets overwritten.
+func (r *genRun) newSegment(ci int) sim.Sequence {
 	segLen := min(r.o.SegmentLen, r.o.MaxLen-len(r.res.Seq))
-	seg := make(sim.Sequence, segLen)
+	sc := &r.s.sc
+	sc.segs = engine.Grow(sc.segs, r.o.Candidates)
+	seg := engine.Grow(sc.segs[ci], segLen)
+	sc.segs[ci] = seg
 	for k := range seg {
-		seg[k] = r.randVec()
+		seg[k] = engine.Grow(seg[k], len(r.ins))
+		r.fillRand(seg[k])
 	}
 	return seg
 }
 
 // appendSegment commits an accepted segment: the original and every
-// target machine advance through it, the sequence grows, and — when a
-// fault simulator is attached — the segment is appended incrementally
-// and the round's cumulative coverage recorded.
+// target machine advance through it, the sequence grows (by copies — the
+// candidate buffer is round scratch, the result is caller-owned), and —
+// when a fault simulator is attached — the segment is appended
+// incrementally and the round's cumulative coverage recorded.
 func (r *genRun) appendSegment(seg sim.Sequence) error {
 	for _, v := range seg {
 		if err := r.stepAll(v); err != nil {
 			return err
 		}
-		r.res.Seq = append(r.res.Seq, v)
+		r.res.Seq = append(r.res.Seq, append(sim.Vector(nil), v...))
 	}
 	r.res.Segments = append(r.res.Segments, len(r.res.Seq))
 	return r.faultAppend(seg, true)
@@ -403,12 +457,17 @@ func (r *genRun) appendSegment(seg sim.Sequence) error {
 
 // faultAppend extends the attached fault simulator (if any) with the
 // given cycles; boundary marks an accepted-segment boundary whose
-// cumulative coverage is recorded in RoundCoverage.
+// cumulative coverage is recorded in RoundCoverage. The bit-blasted
+// patterns are session scratch (the simulator does not retain them) and
+// the returned Result is the simulator's session-owned view — finish()
+// clones the final one into the campaign result.
 func (r *genRun) faultAppend(seg sim.Sequence, boundary bool) error {
 	if r.s.fsim == nil {
 		return nil
 	}
-	fres, err := r.s.fsim.Append(ToPatterns(r.s.c, seg))
+	sc := &r.s.sc
+	sc.pats = toPatternsInto(r.s.c, seg, sc.pats)
+	fres, err := r.s.fsim.Append(sc.pats)
 	if err != nil {
 		return fmt.Errorf("tpg: fault sim: %w", err)
 	}

@@ -67,16 +67,28 @@ func randomSequence(c *hdl.Circuit, n int, seed int64, rawReset bool) sim.Sequen
 
 // ToPatterns bit-blasts a behavioral sequence into gate-level patterns in
 // the synthesizer's PI order (input ports in declaration order, LSB
-// first), one pattern per cycle.
+// first), one pattern per cycle. The patterns are freshly allocated and
+// caller-owned.
 func ToPatterns(c *hdl.Circuit, seq sim.Sequence) []faultsim.Pattern {
+	return toPatternsInto(c, seq, nil)
+}
+
+// toPatternsInto is ToPatterns into a reusable buffer (rows recycled when
+// capacity suffices) — the incremental fault-sim hookup bit-blasts every
+// accepted segment, and the simulator does not retain the patterns, so
+// the session reuses one buffer across rounds.
+func toPatternsInto(c *hdl.Circuit, seq sim.Sequence, out []faultsim.Pattern) []faultsim.Pattern {
 	ins := c.Inputs()
 	nBits := 0
 	for _, p := range ins {
 		nBits += p.Width
 	}
-	out := make([]faultsim.Pattern, len(seq))
+	out = engine.Grow(out, len(seq))
 	for cyc, v := range seq {
-		p := make(faultsim.Pattern, 0, nBits)
+		p := out[cyc][:0]
+		if cap(p) < nBits {
+			p = make(faultsim.Pattern, 0, nBits)
+		}
 		for i, port := range ins {
 			for b := 0; b < port.Width; b++ {
 				p = append(p, uint8(v[i].Bit(b)))
@@ -177,7 +189,8 @@ type Result struct {
 	// FaultSim is the cumulative gate-level result of the attached
 	// incremental fault simulator (nil unless the generating Session had
 	// one, see Session.AttachFaultSim): identical to one-shot
-	// fault-simulating Seq, but maintained round by round.
+	// fault-simulating Seq, but maintained round by round. It is a
+	// caller-owned clone, detached from the simulator session.
 	FaultSim *faultsim.Result
 	// RoundCoverage is the fault coverage after each accepted segment,
 	// parallel to Segments (nil without an attached fault simulator).

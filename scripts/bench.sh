@@ -6,7 +6,9 @@
 #
 # The default output name is BENCH_<git-sha>.json (BENCH_worktree.json
 # when the tree is dirty). The raw `go test -bench` text is kept next to
-# it as a .txt with the same stem.
+# it as a .txt with the same stem, and the run's allocation profile as a
+# .mem.pprof — `go tool pprof -sample_index=alloc_objects` on it answers
+# "where do the allocs/op come from" without a rerun.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -21,9 +23,11 @@ if [ -z "$out" ]; then
     out="BENCH_${sha}.json"
 fi
 txt="${out%.json}.txt"
+prof="${out%.json}.mem.pprof"
 
 echo "running benchmarks -> ${txt}" >&2
-go test -run='^$' -bench=. -benchmem -benchtime="${BENCHTIME:-1x}" "$@" . | tee "$txt" >&2
+go test -run='^$' -bench=. -benchmem -benchtime="${BENCHTIME:-1x}" \
+    -memprofile "$prof" "$@" . | tee "$txt" >&2
 
 # Convert `BenchmarkName  N  T ns/op  B B/op  A allocs/op  [M metric]`
 # lines into a JSON array. awk keeps this dependency-free.
@@ -49,4 +53,4 @@ BEGIN { print "[" }
 END { print "\n]" }
 ' "$txt" > "$out"
 
-echo "wrote ${out} ($(grep -c '"name"' "$out") benchmarks)" >&2
+echo "wrote ${out} ($(grep -c '"name"' "$out") benchmarks) and ${prof}" >&2

@@ -8,13 +8,13 @@ import (
 
 const baseJSON = `[
   {"name": "BenchmarkA", "iterations": 10, "ns_per_op": 1000, "date": "2026-01-01T00:00:00Z"},
-  {"name": "BenchmarkB", "iterations": 10, "ns_per_op": 2000, "faultcycles/s": 50000000, "bytes_per_op": 64, "date": "2026-01-01T00:00:00Z"},
+  {"name": "BenchmarkB", "iterations": 10, "ns_per_op": 2000, "faultcycles/s": 50000000, "bytes_per_op": 64, "allocs_per_op": 100, "date": "2026-01-01T00:00:00Z"},
   {"name": "BenchmarkGone", "iterations": 1, "ns_per_op": 5, "date": "2026-01-01T00:00:00Z"}
 ]`
 
 const curJSON = `[
   {"name": "BenchmarkA-4", "iterations": 10, "ns_per_op": 1200, "date": "2026-02-01T00:00:00Z"},
-  {"name": "BenchmarkB", "iterations": 10, "ns_per_op": 1900, "faultcycles/s": 80000000, "bytes_per_op": 64, "date": "2026-02-01T00:00:00Z"},
+  {"name": "BenchmarkB", "iterations": 10, "ns_per_op": 1900, "faultcycles/s": 80000000, "bytes_per_op": 64, "allocs_per_op": 30, "date": "2026-02-01T00:00:00Z"},
   {"name": "BenchmarkNew", "iterations": 1, "ns_per_op": 7, "date": "2026-02-01T00:00:00Z"}
 ]`
 
@@ -48,6 +48,9 @@ func TestParseSummary(t *testing.T) {
 	if b.Rates["faultcycles/s"] != 50000000 {
 		t.Errorf("BenchmarkB rate = %v", b.Rates["faultcycles/s"])
 	}
+	if b.BytesPerOp != 64 || b.AllocsPerOp != 100 {
+		t.Errorf("BenchmarkB B/op = %v, allocs/op = %v, want 64, 100", b.BytesPerOp, b.AllocsPerOp)
+	}
 	// bytes_per_op must not be mistaken for a rate.
 	if _, ok := b.Rates["bytes_per_op"]; ok {
 		t.Error("bytes_per_op misparsed as a rate")
@@ -66,17 +69,44 @@ func TestParseSummaryRejectsGarbage(t *testing.T) {
 func TestCompareFlagsRegressionsAndImprovements(t *testing.T) {
 	base, cur := parseBoth(t)
 	deltas := compare(base, cur, 0.10)
-	// Expected: A ns/op +20% (regression), B faultcycles/s +60%
-	// (improvement). B ns/op -5% is under threshold.
-	if len(deltas) != 2 {
+	// Expected: A ns/op +20% (regression), B allocs/op -70% and
+	// faultcycles/s +60% (improvements). B ns/op -5% is under threshold,
+	// B B/op is unchanged.
+	if len(deltas) != 3 {
 		t.Fatalf("got %d deltas: %v", len(deltas), deltas)
 	}
-	// Regressions sort first.
+	// Regressions sort first, then bench name, then metric.
 	if d := deltas[0]; !d.Worse || d.Bench != "BenchmarkA" || d.Metric != "ns/op" {
 		t.Errorf("first delta = %+v, want BenchmarkA ns/op regression", d)
 	}
-	if d := deltas[1]; d.Worse || d.Bench != "BenchmarkB" || d.Metric != "faultcycles/s" {
-		t.Errorf("second delta = %+v, want BenchmarkB rate improvement", d)
+	if d := deltas[1]; d.Worse || d.Bench != "BenchmarkB" || d.Metric != "allocs/op" {
+		t.Errorf("second delta = %+v, want BenchmarkB allocs/op improvement", d)
+	}
+	if d := deltas[2]; d.Worse || d.Bench != "BenchmarkB" || d.Metric != "faultcycles/s" {
+		t.Errorf("third delta = %+v, want BenchmarkB rate improvement", d)
+	}
+}
+
+func TestCompareAllocDirectionality(t *testing.T) {
+	// Allocation growth is a regression (lower is better), and rows
+	// without allocation data (older summaries) are skipped, not treated
+	// as zero baselines.
+	base := map[string]entry{
+		"Bench":    {NsPerOp: 1000, BytesPerOp: 1 << 20, AllocsPerOp: 100},
+		"NoAllocs": {NsPerOp: 500},
+	}
+	cur := map[string]entry{
+		"Bench":    {NsPerOp: 1000, BytesPerOp: 2 << 20, AllocsPerOp: 1000},
+		"NoAllocs": {NsPerOp: 500, BytesPerOp: 64, AllocsPerOp: 2},
+	}
+	deltas := compare(base, cur, 0.10)
+	if len(deltas) != 2 {
+		t.Fatalf("got %d deltas: %v", len(deltas), deltas)
+	}
+	for _, d := range deltas {
+		if !d.Worse || d.Bench != "Bench" {
+			t.Errorf("delta = %+v, want a Bench allocation regression", d)
+		}
 	}
 }
 

@@ -7,11 +7,14 @@
 //
 //	go run ./scripts/benchcmp [-threshold 0.10] baseline.json current.json
 //
-// A benchmark regresses when its ns/op grows by more than the threshold,
-// or any of its throughput metrics (the "…/s" extras like faultcycles/s)
-// shrinks by more than the threshold. The exit status is 1 when anything
-// regressed — CI runs the comparison non-blocking (benchtime=1x smoke
-// numbers are noisy; the report is the artifact, not a gate).
+// A benchmark regresses when its ns/op, B/op or allocs/op grows by more
+// than the threshold, or any of its throughput metrics (the "…/s" extras
+// like faultcycles/s) shrinks by more than the threshold. The exit
+// status is 1 when anything regressed — CI runs the comparison
+// non-blocking (benchtime=1x smoke numbers are noisy for ns/op; the
+// report is the artifact, not a gate). The allocation metrics are the
+// steadiest of the set — B/op and allocs/op are deterministic per
+// iteration, so a flagged allocation regression at 1x is a real one.
 package main
 
 import (
@@ -27,7 +30,9 @@ import (
 // entry is one benchmark row of a BENCH json summary. Throughput extras
 // have dynamic keys, so rows decode into a raw map first.
 type entry struct {
-	NsPerOp float64
+	NsPerOp     float64
+	BytesPerOp  float64
+	AllocsPerOp float64
 	// Rates maps metric name ("faultcycles/s", …) to its value.
 	Rates map[string]float64
 }
@@ -79,6 +84,10 @@ func parseSummary(data []byte) (map[string]entry, error) {
 			switch {
 			case k == "ns_per_op":
 				e.NsPerOp = f
+			case k == "bytes_per_op":
+				e.BytesPerOp = f
+			case k == "allocs_per_op":
+				e.AllocsPerOp = f
 			case strings.HasSuffix(k, "/s"):
 				e.Rates[k] = f
 			}
@@ -114,6 +123,8 @@ func compare(base, cur map[string]entry, threshold float64) []delta {
 			continue
 		}
 		flag(name, "ns/op", b.NsPerOp, c.NsPerOp, false)
+		flag(name, "B/op", b.BytesPerOp, c.BytesPerOp, false)
+		flag(name, "allocs/op", b.AllocsPerOp, c.AllocsPerOp, false)
 		for rate, old := range b.Rates {
 			if now, ok := c.Rates[rate]; ok {
 				flag(name, rate, old, now, true)
