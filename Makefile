@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build examples vet fmt-check test race bench bench-smoke bench-compare ci clean
+.PHONY: all build examples vet lint fmt-check test race bench bench-smoke bench-compare ci clean
 
 all: build
 
@@ -18,6 +18,14 @@ examples:
 
 vet:
 	$(GO) vet ./...
+
+# Contracts as lint: build the repository's multichecker (cmd/reprolint)
+# and run the four engine-contract analyzers — sessionview, hotalloc,
+# determinism, ctxpoll — over every package through the go vet driver,
+# so //repro: annotations propagate across package boundaries as facts.
+lint:
+	$(GO) build -o bin/reprolint ./cmd/reprolint
+	$(GO) vet -vettool=bin/reprolint ./...
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -39,8 +47,9 @@ bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
 # Diff the newest local BENCH_*.json against the committed baseline and
-# flag >10% regressions (scripts/benchcmp). Non-blocking in CI: smoke
-# numbers are noisy, the report is the artifact.
+# flag >10% regressions (scripts/benchcmp). Reporting only by default —
+# smoke numbers are noisy, the report is the artifact; pass
+# BENCHCMP_FLAGS=-strict to gate (exit nonzero on any regression).
 bench-compare:
 	@base="$$(git ls-files 'BENCH_*.json' | while read -r f; do \
 		echo "$$(git log -1 --format=%ct -- "$$f") $$f"; done | sort -n | tail -1 | cut -d' ' -f2-)"; \
@@ -48,9 +57,10 @@ bench-compare:
 	if [ -z "$$base" ] || [ -z "$$new" ] || [ "$$base" = "$$new" ]; then \
 		echo "bench-compare: need a committed baseline and a fresh BENCH_*.json (run make bench)"; exit 1; fi; \
 	echo "comparing $$base -> $$new"; \
-	$(GO) run ./scripts/benchcmp "$$base" "$$new"
+	$(GO) run ./scripts/benchcmp $(BENCHCMP_FLAGS) "$$base" "$$new"
 
-ci: build examples vet fmt-check race bench-smoke
+ci: build examples vet lint fmt-check race bench-smoke
 
 clean:
 	rm -f BENCH_*.json BENCH_*.txt BENCH_*.mem.pprof
+	rm -rf bin

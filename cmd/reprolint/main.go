@@ -1,0 +1,22 @@
+// Command reprolint is the repository's contracts-as-lint multichecker:
+// the four engine-contract analyzers (sessionview, hotalloc,
+// determinism, ctxpoll) behind the go vet driver protocol.
+//
+// Run it through the toolchain so analysis order, caching and fact
+// propagation follow the build graph:
+//
+//	go build -o bin/reprolint ./cmd/reprolint
+//	go vet -vettool=bin/reprolint ./...
+//
+// or just "make lint". Passing an analyzer name as a flag restricts the
+// run — "go vet -vettool=bin/reprolint -sessionview ./..." — and
+// //repro:ok <analyzer> <reason> suppresses a single finding in place.
+// See internal/analysis for the analyzers and the //repro: directive
+// grammar.
+package main
+
+import "repro/internal/analysis"
+
+func main() {
+	analysis.Main(analysis.All()...)
+}

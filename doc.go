@@ -36,6 +36,12 @@
 // call — Clone them to retain. The contract is stated in internal/engine
 // and the "Memory discipline" sections of README.md and ARCHITECTURE.md.
 //
+// These contracts are machine-checked: internal/analysis implements four
+// //repro: annotation-driven analyzers (sessionview, hotalloc,
+// determinism, ctxpoll) and cmd/reprolint packages them as a vettool —
+// "make lint" runs them over the whole module; see the "Contracts as
+// lint" sections of README.md and ARCHITECTURE.md.
+//
 // Deterministic ATPG (internal/atpg, PODEM with time-frame expansion)
 // runs on the same compiled machinery: netlist.TriExpand builds a
 // dual-rail twin that encodes three-valued (0/1/X) logic as plain

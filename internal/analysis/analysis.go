@@ -1,0 +1,140 @@
+// Package analysis is the repository's contracts-as-lint suite: a small
+// go/analysis-style framework plus four analyzers that mechanically
+// enforce the written engine contracts — session-view ownership
+// (sessionview), allocation-free hot paths (hotalloc), cross-run
+// determinism (determinism) and cooperative cancellation (ctxpoll).
+//
+// The framework mirrors the golang.org/x/tools/go/analysis API shape
+// (Analyzer, Pass, Diagnostic) but is self-contained: this repository
+// vendors no dependencies, so the driver protocol that lets the suite
+// run under "go vet -vettool=..." (see unitchecker.go) and the
+// analysistest-style fixture harness (see the analysistest subpackage)
+// are implemented here on the standard library alone.
+//
+// Contracts are written in the source as //repro: directives (see
+// annotate.go for the grammar) and checked at every use site; the
+// cmd/reprolint multichecker carries annotations across package
+// boundaries as vet facts, so a session-owned view escaping three
+// packages away from its definition is still a positioned diagnostic.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one named, documented check over a single package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, enable flags and
+	// suppression directives. It must be a valid identifier.
+	Name string
+	// Doc is the one-paragraph description shown by reprolint help.
+	Doc string
+	// Run applies the analyzer to one package, reporting findings
+	// through pass.Report.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding, positioned so editors and CI can jump to
+// it.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass carries one package's parsed, type-checked state through an
+// analyzer, together with the repository annotation index.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Ann indexes the //repro: directives visible to this package: the
+	// package's own plus, under the unitchecker driver, those imported
+	// as facts from its dependencies.
+	Ann *Annotations
+
+	// report receives diagnostics that survive suppression.
+	report func(Diagnostic)
+
+	// suppress maps file name -> line -> analyzer names suppressed
+	// on that line by a //repro:ok directive.
+	suppress map[string]map[int]map[string]bool
+
+	// pragmas holds the package-level directives of this package.
+	pragmas map[string]bool
+}
+
+// Report emits a diagnostic unless a //repro:ok directive on the same
+// line, or on the line above, suppresses this analyzer there.
+func (p *Pass) Report(d Diagnostic) {
+	pos := p.Fset.Position(d.Pos)
+	if lines, ok := p.suppress[pos.Filename]; ok {
+		for _, ln := range [2]int{pos.Line, pos.Line - 1} {
+			if m, ok := lines[ln]; ok && (m[p.Analyzer.Name] || m["all"]) {
+				return
+			}
+		}
+	}
+	p.report(d)
+}
+
+// Reportf is Report with formatting.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// All returns the full analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{SessionView, HotAlloc, Determinism, CtxPoll}
+}
+
+// AnalyzePackage runs one analyzer over an already type-checked
+// package and returns its diagnostics. Annotations come from the
+// package's own //repro: directives; the unitchecker driver layers
+// imported facts on top of this path, and the analysistest harness
+// calls it directly (fixtures are single packages).
+func AnalyzePackage(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	scan := scanDirectives(fset, files, info)
+	var out []Diagnostic
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		Ann:       scan.ann,
+		pragmas:   scan.pragmas,
+		suppress:  scan.suppress,
+		report:    func(d Diagnostic) { out = append(out, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// isTestFile reports whether the file sits in a _test.go file. The
+// contracts bind engine code; tests deliberately do odd things (clock
+// wall time, hold views hostage to probe the ownership rules), so every
+// analyzer in the suite skips test files.
+func (p *Pass) isTestFile(f *ast.File) bool {
+	name := p.Fset.Position(f.Pos()).Filename
+	const suffix = "_test.go"
+	return len(name) >= len(suffix) && name[len(name)-len(suffix):] == suffix
+}
+
+// sourceFiles yields the non-test files of the pass.
+func (p *Pass) sourceFiles() []*ast.File {
+	out := make([]*ast.File, 0, len(p.Files))
+	for _, f := range p.Files {
+		if !p.isTestFile(f) {
+			out = append(out, f)
+		}
+	}
+	return out
+}

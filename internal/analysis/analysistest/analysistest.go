@@ -1,0 +1,213 @@
+// Package analysistest runs an analyzer over a fixture package and
+// checks its diagnostics against // want comments, in the style of
+// golang.org/x/tools/go/analysis/analysistest (not vendored here; this
+// harness is self-contained on the standard library).
+//
+// A fixture lives in testdata/src/<name>/ as one package of ordinary
+// Go files. A line expecting diagnostics carries a comment of the form
+//
+//	x := sess.View() // want `session-owned view`
+//
+// with one Go string literal (quoted or backquoted) per expected
+// diagnostic; each is a regular expression matched against the
+// diagnostic message reported on that line. Lines without a want
+// comment must stay clean, so negative fixtures are just annotated
+// code with no want comments. Fixtures may import only the standard
+// library: they are type-checked with the source importer, since
+// module export data is not available from a bare test process.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// Run analyzes testdata/src/<fixture> (relative to the test's working
+// directory) with the analyzer and reports every mismatch between
+// actual diagnostics and // want expectations through t.
+func Run(t *testing.T, a *analysis.Analyzer, fixture string) {
+	t.Helper()
+	fset, files, diags := analyze(t, a, fixture)
+
+	wants := collectWants(t, fset, files)
+	type key struct {
+		file string
+		line int
+	}
+	matched := make(map[*want]bool)
+	for _, d := range diags {
+		posn := fset.Position(d.Pos)
+		k := key{posn.Filename, posn.Line}
+		found := false
+		for _, w := range wants {
+			if w.file == k.file && w.line == k.line && !matched[w] && w.rx.MatchString(d.Message) {
+				matched[w] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", posn, d.Message)
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, w := range wants {
+		if !matched[w] {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.rx)
+		}
+	}
+}
+
+// RunSilent analyzes the fixture and discards diagnostics: only load,
+// typecheck and analyzer errors fail the test. Used to cross-run each
+// analyzer over the other analyzers' fixtures as a robustness smoke.
+func RunSilent(t *testing.T, a *analysis.Analyzer, fixture string) {
+	t.Helper()
+	analyze(t, a, fixture)
+}
+
+// analyze loads, parses and type-checks one fixture package and runs
+// the analyzer over it.
+func analyze(t *testing.T, a *analysis.Analyzer, fixture string) (*token.FileSet, []*ast.File, []analysis.Diagnostic) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", fixture)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture %s: %v", dir, err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		name := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("fixture %s has no Go files", dir)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check(fixture, fset, files, info)
+	if err != nil {
+		t.Fatalf("typechecking fixture %s: %v", dir, err)
+	}
+
+	diags, err := analysis.AnalyzePackage(a, fset, files, pkg, info)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, fixture, err)
+	}
+	return fset, files, diags
+}
+
+// want is one expected-diagnostic pattern.
+type want struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+}
+
+// collectWants parses the // want comments of the fixture files.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
+	t.Helper()
+	var out []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				patterns, err := parsePatterns(rest)
+				if err != nil {
+					t.Fatalf("%s: bad want comment: %v", posn, err)
+				}
+				for _, p := range patterns {
+					rx, err := regexp.Compile(p)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", posn, p, err)
+					}
+					out = append(out, &want{file: posn.Filename, line: posn.Line, rx: rx})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// parsePatterns splits a want tail into its Go string literals.
+func parsePatterns(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var lit string
+		switch s[0] {
+		case '"':
+			end := 1
+			for end < len(s) {
+				if s[end] == '\\' {
+					end += 2
+					continue
+				}
+				if s[end] == '"' {
+					break
+				}
+				end++
+			}
+			if end >= len(s) {
+				return nil, fmt.Errorf("unterminated string in %q", s)
+			}
+			var err error
+			lit, err = strconv.Unquote(s[:end+1])
+			if err != nil {
+				return nil, err
+			}
+			s = s[end+1:]
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated raw string in %q", s)
+			}
+			lit = s[1 : end+1]
+			s = s[end+2:]
+		default:
+			return nil, fmt.Errorf("expected string literal at %q", s)
+		}
+		out = append(out, lit)
+		s = strings.TrimSpace(s)
+	}
+	return out, nil
+}

@@ -1,0 +1,54 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// The fixtures under testdata/src pair firing cases (every // want
+// line) with clean idioms (unannotated lines) for each analyzer, so a
+// single Run per analyzer checks both directions: missed diagnostics
+// and false positives.
+
+func TestSessionView(t *testing.T) {
+	analysistest.Run(t, analysis.SessionView, "sessionview")
+}
+
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, analysis.HotAlloc, "hotalloc")
+}
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, analysis.Determinism, "determinism")
+}
+
+func TestCtxPoll(t *testing.T) {
+	analysistest.Run(t, analysis.CtxPoll, "ctxpoll")
+}
+
+// TestCrossAnalyzerSilence runs each analyzer over the other analyzers'
+// fixtures: a fixture written to fire one analyzer must stay silent (or
+// at least not panic) under the rest. Only panics and analyzer errors
+// are failures here; the fixtures share annotation grammar, so benign
+// cross-fire (hotalloc in a determinism fixture) is tolerated by
+// matching nothing.
+func TestCrossAnalyzerNoPanic(t *testing.T) {
+	for _, a := range analysis.All() {
+		for _, fixture := range []string{"sessionview", "hotalloc", "determinism", "ctxpoll"} {
+			if a.Name == fixture {
+				continue
+			}
+			a, fixture := a, fixture
+			t.Run(a.Name+"/"+fixture, func(t *testing.T) {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("%s panicked on %s fixture: %v", a.Name, fixture, r)
+					}
+				}()
+				analysistest.RunSilent(t, a, fixture)
+			})
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+func TestAnnotationsRoundTrip(t *testing.T) {
+	a := NewAnnotations()
+	a.add("repro/internal/faultsim.Simulator.Append", "session-owned")
+	a.add("repro/internal/netlist.Machine.Eval", "session-owned")
+	a.add("repro/internal/netlist.Machine.Eval", "step")
+
+	data, err := a.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	b, err := DecodeAnnotations(data)
+	if err != nil {
+		t.Fatalf("DecodeAnnotations: %v", err)
+	}
+	for sym, set := range a.Funcs {
+		for d := range set {
+			if !b.Has(sym, d) {
+				t.Errorf("round trip lost %s %s", sym, d)
+			}
+		}
+	}
+	if b.Has("repro/internal/faultsim.Simulator.Append", "step") {
+		t.Error("round trip invented a directive")
+	}
+}
+
+func TestDecodeAnnotationsEmpty(t *testing.T) {
+	a, err := DecodeAnnotations(nil)
+	if err != nil {
+		t.Fatalf("DecodeAnnotations(nil): %v", err)
+	}
+	if len(a.Funcs) != 0 {
+		t.Errorf("empty payload decoded to %d symbols", len(a.Funcs))
+	}
+}
+
+func TestAnnotationsMerge(t *testing.T) {
+	a := NewAnnotations()
+	a.add("p.F", "hotpath")
+	b := NewAnnotations()
+	b.add("p.F", "step")
+	b.add("q.G", "session-owned")
+	a.Merge(b)
+	a.Merge(nil)
+	for _, want := range []struct{ sym, dir string }{
+		{"p.F", "hotpath"}, {"p.F", "step"}, {"q.G", "session-owned"},
+	} {
+		if !a.Has(want.sym, want.dir) {
+			t.Errorf("after merge, missing %s %s", want.sym, want.dir)
+		}
+	}
+}
+
+func TestDirectiveOf(t *testing.T) {
+	cases := []struct {
+		text, name, args string
+	}{
+		{"//repro:session-owned", "session-owned", ""},
+		{"//repro:ok hotalloc warm-up buffer", "ok", "hotalloc warm-up buffer"},
+		{"// repro:session-owned", "", ""}, // directives allow no space after //
+		{"//repro: session-owned", "", ""}, // or before the name
+		{"// ordinary comment", "", ""},
+	}
+	for _, c := range cases {
+		name, args := directiveOf(&ast.Comment{Text: c.text})
+		if name != c.name || args != c.args {
+			t.Errorf("directiveOf(%q) = (%q, %q), want (%q, %q)", c.text, name, args, c.name, c.args)
+		}
+	}
+}
+
+// typecheckSrc parses and type-checks one in-memory file as package
+// path "p".
+func typecheckSrc(t *testing.T, src string) (*token.FileSet, []*ast.File, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	if _, err := conf.Check("p", fset, []*ast.File{f}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return fset, []*ast.File{f}, info
+}
+
+func TestScanDirectives(t *testing.T) {
+	const src = `//repro:deterministic
+package p
+
+type T struct{}
+
+// Eval runs the machine.
+//
+//repro:session-owned
+//repro:step
+func (t *T) Eval() *T { return t }
+
+//repro:hotpath
+func exec() {}
+
+// I abstracts machines.
+type I interface {
+	//repro:step
+	Step()
+}
+
+func plain() {
+	_ = 0 //repro:ok determinism because reasons
+}
+`
+	fset, files, info := typecheckSrc(t, src)
+	res := scanDirectives(fset, files, info)
+
+	for _, want := range []struct{ sym, dir string }{
+		{"p.T.Eval", "session-owned"},
+		{"p.T.Eval", "step"},
+		{"p.exec", "hotpath"},
+	} {
+		if !res.ann.Has(want.sym, want.dir) {
+			t.Errorf("scan missed %s %s (have %v)", want.sym, want.dir, res.ann.Funcs)
+		}
+	}
+	// The interface method must be indexed under a symbol that matches
+	// what FuncSymbol produces at a call site through the interface.
+	found := false
+	for sym, set := range res.ann.Funcs {
+		if set["step"] && sym != "p.T.Eval" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("interface method directive not indexed (have %v)", res.ann.Funcs)
+	}
+	if !res.pragmas["deterministic"] {
+		t.Error("deterministic pragma not scanned")
+	}
+	suppressedLine := 0
+	for line, set := range res.suppress["p.go"] {
+		if set["determinism"] {
+			suppressedLine = line
+		}
+	}
+	if suppressedLine == 0 {
+		t.Errorf("ok directive not scanned (have %v)", res.suppress)
+	}
+}
+
+func TestFuncSymbolInterfaceCallSiteAgreement(t *testing.T) {
+	const src = `package p
+
+type I interface {
+	//repro:step
+	Step()
+}
+
+func drive(i I) { i.Step() }
+`
+	fset, files, info := typecheckSrc(t, src)
+	res := scanDirectives(fset, files, info)
+
+	var call *ast.CallExpr
+	ast.Inspect(files[0], func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok {
+			call = c
+		}
+		return true
+	})
+	if call == nil {
+		t.Fatal("no call found")
+	}
+	fn := calleeOf(info, call)
+	if fn == nil {
+		t.Fatal("callee not resolved")
+	}
+	if !res.ann.HasFunc(fn, "step") {
+		t.Errorf("call-site symbol %q does not see the interface directive (index %v)", FuncSymbol(fn), res.ann.Funcs)
+	}
+}
+
+func TestReportSuppression(t *testing.T) {
+	fset := token.NewFileSet()
+	file := fset.AddFile("x.go", -1, 1000)
+	for i := 0; i < 20; i++ {
+		file.AddLine(i * 50)
+	}
+	posAt := func(line int) token.Pos { return file.LineStart(line) }
+
+	var got []Diagnostic
+	pass := &Pass{
+		Analyzer: SessionView,
+		Fset:     fset,
+		suppress: map[string]map[int]map[string]bool{
+			"x.go": {
+				3: {"sessionview": true},
+				5: {"all": true},
+				7: {"hotalloc": true},
+			},
+		},
+		report: func(d Diagnostic) { got = append(got, d) },
+	}
+	pass.Report(Diagnostic{Pos: posAt(3), Message: "same line"})       // suppressed
+	pass.Report(Diagnostic{Pos: posAt(4), Message: "line above"})      // suppressed (directive on 3)
+	pass.Report(Diagnostic{Pos: posAt(6), Message: "all wildcard"})    // suppressed (all on 5)
+	pass.Report(Diagnostic{Pos: posAt(7), Message: "other analyzer"})  // reported
+	pass.Report(Diagnostic{Pos: posAt(10), Message: "no suppression"}) // reported
+	if len(got) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %+v", len(got), got)
+	}
+	if got[0].Message != "other analyzer" || got[1].Message != "no suppression" {
+		t.Errorf("wrong diagnostics survived: %+v", got)
+	}
+}

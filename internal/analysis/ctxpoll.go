@@ -1,0 +1,135 @@
+package analysis
+
+// ctxpoll enforces the cooperative-cancellation contract in the engine
+// packages (EnginePackages, plus //repro:deterministic pragma opt-ins):
+// a loop that drives the compiled machines — calls a function annotated
+// //repro:step, like netlist.Machine.Eval or sim.Machine.StepInto —
+// can run for millions of cycles, so it must reach a Ctx poll on every
+// iteration path or a cancelled campaign hangs until the batch drains.
+//
+// Recognized polls are ctx.Err()/ctx.Done() on a context.Context and
+// the shared engine.Options.Cancelled helper (matched by method name,
+// so fixture packages need not import the engine). The check applies
+// to the outermost step-driving loop of each function body (closures
+// are separate bodies): an inner per-lane loop under a polling cycle
+// loop is fine, and the established cyc&31 == 31 gating counts — the
+// analyzer requires a poll to be reachable, not unconditional. A
+// function annotated //repro:step itself is exempt: marking it moves
+// the polling obligation to its callers, which is how the bounded
+// helpers (sim.Machine.Run over a capped sequence) opt out. Suppress a
+// known-bounded loop with //repro:ok ctxpoll <reason>.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxPoll is the cancellation-poll analyzer.
+var CtxPoll = &Analyzer{
+	Name: "ctxpoll",
+	Doc:  "flags loops that drive //repro:step machine functions without reaching a Ctx poll (ctx.Err/Done or Options.Cancelled)",
+	Run:  runCtxPoll,
+}
+
+func runCtxPoll(pass *Pass) error {
+	if !pass.engineScoped() {
+		return nil
+	}
+	for _, file := range pass.sourceFiles() {
+		// Each function body — declaration or closure — is its own
+		// polling domain: a closure handed to the worker pool runs far
+		// from its lexical home, so it must poll for itself. The walk
+		// reaches every FuncLit exactly once; checkPollDomain itself
+		// never descends into nested closures.
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body == nil {
+					return true
+				}
+				if obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func); ok && pass.Ann.HasFunc(obj, "step") {
+					// The annotation moves the obligation to callers;
+					// don't also demand polls inside.
+					return false
+				}
+				checkPollDomain(pass, fn.Body)
+			case *ast.FuncLit:
+				checkPollDomain(pass, fn.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkPollDomain flags the outermost step-driving loops of one
+// function body. Nested loops belong to their outermost loop (a poll
+// anywhere under it is reachable per outer iteration); closures are
+// separate domains, skipped here.
+func checkPollDomain(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch loop := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			checkLoop(pass, loop.Body)
+			return false
+		case *ast.RangeStmt:
+			checkLoop(pass, loop.Body)
+			return false
+		}
+		return true
+	})
+}
+
+// checkLoop judges one outermost loop: a body (closures excluded) that
+// calls a step function but contains no poll is reported.
+func checkLoop(pass *Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	var step *ast.CallExpr
+	var stepSym string
+	polled := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeOf(info, call)
+		if fn == nil {
+			return true
+		}
+		if step == nil && pass.Ann.HasFunc(fn, "step") {
+			step, stepSym = call, FuncSymbol(fn)
+		}
+		if isPoll(fn) {
+			polled = true
+			return false
+		}
+		return true
+	})
+	if step != nil && !polled {
+		pass.Reportf(step.Pos(), "loop drives %s without reaching a Ctx poll (add a ctx.Err()/Options.Cancelled check, or annotate the enclosing function //repro:step to move the obligation to callers)", stepSym)
+	}
+}
+
+// isPoll recognizes the cancellation probes the engines use:
+// engine.Options.Cancelled and the unexported wrappers around it
+// (matched case-insensitively by name, so fixture and downstream
+// packages need not import the engine), plus ctx.Err/ctx.Done on a
+// context.Context.
+func isPoll(fn *types.Func) bool {
+	if strings.EqualFold(fn.Name(), "cancelled") {
+		return true
+	}
+	switch fn.Name() {
+	case "Err", "Done":
+		if recv := fn.Signature().Recv(); recv != nil {
+			return isContextType(recv.Type())
+		}
+	}
+	return false
+}

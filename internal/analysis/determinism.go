@@ -1,0 +1,219 @@
+package analysis
+
+// determinism enforces the cross-run reproducibility contract inside
+// the engine packages (EnginePackages, plus any package opted in with a
+// //repro:deterministic pragma): every compiled path must produce
+// bit-identical results for a given seed and configuration, because
+// shard results of a distributed campaign merge by construction only if
+// re-running a shard reproduces it. Two rule families:
+//
+//   - Ambient nondeterminism: time.Now/Since/Until and the global
+//     math/rand functions (everything except the New* constructors —
+//     seeded *rand.Rand instances are the sanctioned source) are
+//     forbidden outright.
+//
+//   - Map iteration order: a range over a map may not feed anything
+//     order-sensitive. Flagged sinks are appends to slices declared
+//     outside the loop (unless the slice is passed to a sort.* or
+//     slices.* call later in the enclosing block — the collect-then-sort
+//     idiom), returns and breaks (which select an arbitrary element),
+//     channel sends, printing, and += accumulation into outer string or
+//     floating-point variables (float addition is not associative, so
+//     accumulation order changes the result). Writes into other maps,
+//     integer counters and element writes keyed by the iteration key
+//     stay legal: their result is order-insensitive.
+//
+// Suppress a deliberately order-free use with //repro:ok determinism
+// <reason>.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Determinism is the cross-run determinism analyzer.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "flags nondeterminism in engine packages: time.Now, global math/rand, and map ranges feeding order-sensitive sinks without a sort",
+	Run:  runDeterminism,
+}
+
+func runDeterminism(pass *Pass) error {
+	if !pass.engineScoped() {
+		return nil
+	}
+	info := pass.TypesInfo
+	for _, file := range pass.sourceFiles() {
+		withStack(file, func(n ast.Node, stack []ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.CallExpr:
+				checkAmbient(pass, e)
+			case *ast.RangeStmt:
+				if t := info.TypeOf(e.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						checkMapRange(pass, e, stack)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkAmbient flags calls that read ambient state no two runs share.
+func checkAmbient(pass *Pass, call *ast.CallExpr) {
+	fn := calleeOf(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Signature().Recv() != nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			pass.Reportf(call.Pos(), "time.%s is nondeterministic across runs (thread timing through the caller if it must be observed)", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if len(fn.Name()) >= 3 && fn.Name()[:3] == "New" {
+			return // rand.New(rand.NewSource(seed)) is the sanctioned path
+		}
+		pass.Reportf(call.Pos(), "global %s.%s draws from the shared unseeded source; use a seeded *rand.Rand", fn.Pkg().Name(), fn.Name())
+	}
+}
+
+// checkMapRange flags order-sensitive sinks inside a range over a map.
+func checkMapRange(pass *Pass, rng *ast.RangeStmt, stack []ast.Node) {
+	info := pass.TypesInfo
+
+	// outerVar resolves an expression to a variable declared outside
+	// the loop body, or nil.
+	outerVar := func(e ast.Expr) *types.Var {
+		id, ok := unparen(e).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.Pos() == token.NoPos {
+			return nil
+		}
+		if rng.Body.Pos() <= v.Pos() && v.Pos() <= rng.Body.End() {
+			return nil
+		}
+		return v
+	}
+
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			pass.Reportf(e.Pos(), "return inside a map range selects an arbitrary element (map iteration order varies per run)")
+		case *ast.BranchStmt:
+			if e.Tok == token.BREAK && e.Label == nil {
+				pass.Reportf(e.Pos(), "break inside a map range selects an arbitrary element (map iteration order varies per run)")
+			}
+		case *ast.SendStmt:
+			pass.Reportf(e.Pos(), "channel send inside a map range delivers in map iteration order (sort the keys first)")
+		case *ast.CallExpr:
+			if fn := calleeOf(info, e); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+				name := fn.Name()
+				if len(name) >= 5 && (name[:5] == "Print" || (len(name) >= 6 && name[:6] == "Fprint")) {
+					pass.Reportf(e.Pos(), "printing inside a map range emits in map iteration order (sort the keys first)")
+				}
+			}
+		case *ast.AssignStmt:
+			checkMapRangeAssign(pass, e, rng, stack, outerVar)
+		}
+		return true
+	})
+}
+
+// checkMapRangeAssign judges one assignment inside a map range body.
+func checkMapRangeAssign(pass *Pass, as *ast.AssignStmt, rng *ast.RangeStmt, stack []ast.Node, outerVar func(ast.Expr) *types.Var) {
+	info := pass.TypesInfo
+	switch as.Tok {
+	case token.ADD_ASSIGN:
+		for _, l := range as.Lhs {
+			v := outerVar(l)
+			if v == nil {
+				continue
+			}
+			if b, ok := v.Type().Underlying().(*types.Basic); ok {
+				switch {
+				case b.Info()&types.IsFloat != 0:
+					pass.Reportf(as.Pos(), "float accumulation in map iteration order is not associative (sort the keys first)")
+				case b.Info()&types.IsString != 0:
+					pass.Reportf(as.Pos(), "string concatenation in map iteration order varies per run (sort the keys first)")
+				}
+			}
+		}
+	case token.ASSIGN, token.DEFINE:
+		// x = append(x, ...) growing a slice declared outside the loop.
+		for i, r := range as.Rhs {
+			call, ok := unparen(r).(*ast.CallExpr)
+			if !ok || builtinOf(info, call) != "append" || i >= len(as.Lhs) {
+				continue
+			}
+			v := outerVar(as.Lhs[i])
+			if v == nil || sortedAfter(pass, rng, stack, v) {
+				continue
+			}
+			pass.Reportf(as.Pos(), "append inside a map range accumulates in map iteration order; sort %s after the loop (or the keys before it)", v.Name())
+		}
+	}
+}
+
+// sortedAfter reports whether v is passed to a sort.* or slices.* call
+// in a statement after the range loop, in any enclosing block — the
+// collect-then-sort idiom that makes map-order accumulation legal.
+func sortedAfter(pass *Pass, rng *ast.RangeStmt, stack []ast.Node, v *types.Var) bool {
+	info := pass.TypesInfo
+	inner := ast.Node(rng)
+	for i := len(stack) - 1; i >= 0; i-- {
+		block, ok := stack[i].(*ast.BlockStmt)
+		if !ok {
+			inner = stack[i]
+			continue
+		}
+		after := false
+		for _, st := range block.List {
+			if !after {
+				if st == inner || containsNode(st, rng) {
+					after = true
+				}
+				continue
+			}
+			found := false
+			ast.Inspect(st, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || found {
+					return !found
+				}
+				fn := calleeOf(info, call)
+				if fn == nil || fn.Pkg() == nil {
+					return true
+				}
+				if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+					return true
+				}
+				for _, arg := range call.Args {
+					if id, ok := unparen(arg).(*ast.Ident); ok && info.Uses[id] == v {
+						found = true
+					}
+				}
+				return !found
+			})
+			if found {
+				return true
+			}
+		}
+		inner = block
+	}
+	return false
+}
+
+// containsNode reports whether target sits within root.
+func containsNode(root, target ast.Node) bool {
+	return root.Pos() <= target.Pos() && target.End() <= root.End()
+}

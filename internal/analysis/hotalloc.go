@@ -1,0 +1,110 @@
+package analysis
+
+// hotalloc enforces the allocation diet on the exec loops (see the
+// //repro:hotpath grammar in annotate.go): a function annotated
+// hotpath is one of the per-cycle engine loops — the netlist/sim
+// instruction interpreters, the fault-batch schedulers, the ATPG plane
+// sim — whose warm-path allocation count is pinned to zero by the
+// AllocsPerRun tests. The analyzer rejects every allocating construct
+// the compiler cannot elide in those bodies: make/new, composite
+// literals, append, closures (and go/defer, which allocate and stall),
+// fmt and log calls, string concatenation, and explicit conversions of
+// concrete values to interface types (boxing).
+//
+// Calls to ordinary functions are allowed — growth goes through the
+// sanctioned engine.Grow/GrowZero primitives, whose amortized
+// allocations are the contract's escape valve — and arguments of panic
+// calls are exempt (a panic is the cold path by definition). Implicit
+// boxing at call boundaries is out of reach of a syntactic check; the
+// fmt ban covers the common case. Suppress a deliberate allocation
+// with //repro:ok hotalloc <reason>.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotAlloc is the allocation-free hot path analyzer.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "flags allocating constructs inside //repro:hotpath functions (the exec loops must stay allocation-free)",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) error {
+	for _, file := range pass.sourceFiles() {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok || !pass.Ann.HasFunc(obj, "hotpath") {
+				continue
+			}
+			checkHotPath(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkHotPath(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CompositeLit:
+			pass.Reportf(e.Pos(), "composite literal allocates in hotpath function %s", fd.Name.Name)
+			return false // one report per literal tree
+		case *ast.FuncLit:
+			pass.Reportf(e.Pos(), "closure allocates in hotpath function %s", fd.Name.Name)
+			return false
+		case *ast.GoStmt:
+			pass.Reportf(e.Pos(), "go statement allocates in hotpath function %s", fd.Name.Name)
+		case *ast.DeferStmt:
+			pass.Reportf(e.Pos(), "defer allocates in hotpath function %s", fd.Name.Name)
+		case *ast.BinaryExpr:
+			if e.Op.String() == "+" && isStringType(info.TypeOf(e)) {
+				pass.Reportf(e.Pos(), "string concatenation allocates in hotpath function %s", fd.Name.Name)
+			}
+		case *ast.CallExpr:
+			switch builtinOf(info, e) {
+			case "make", "new":
+				pass.Reportf(e.Pos(), "%s allocates in hotpath function %s", builtinOf(info, e), fd.Name.Name)
+			case "append":
+				pass.Reportf(e.Pos(), "append may grow and allocate in hotpath function %s (preallocate via engine.Grow)", fd.Name.Name)
+			case "panic":
+				return false // a panicking path is cold; its arguments may allocate
+			}
+			if fn := calleeOf(info, e); fn != nil && fn.Pkg() != nil {
+				switch fn.Pkg().Path() {
+				case "fmt", "log":
+					pass.Reportf(e.Pos(), "%s.%s allocates in hotpath function %s", fn.Pkg().Name(), fn.Name(), fd.Name.Name)
+				}
+			}
+			// Explicit conversion boxing a concrete value into an
+			// interface.
+			if tv, ok := info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+				if isInterfaceType(tv.Type) && !isInterfaceType(info.TypeOf(e.Args[0])) {
+					pass.Reportf(e.Pos(), "conversion to interface boxes its operand in hotpath function %s", fd.Name.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isInterfaceType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}

@@ -1,0 +1,245 @@
+package analysis
+
+// sessionview enforces the engine ownership contract on session-owned
+// views (see the engine package doc and the //repro:session-owned
+// grammar in annotate.go): the result of an annotated function —
+// faultsim.Simulator.Append/AppendTest and friends — is overwritten by
+// the next call on the same session, so callers may read it and move
+// on, or Clone it, but must not retain it. The analyzer flags the
+// retention shapes that have bitten or nearly bitten this repository:
+// storing the view (or a local bound to it) in a struct field, slice
+// or map element, package variable or composite literal; returning it
+// from a function that is not itself annotated session-owned; sending
+// it on a channel; capturing it in a closure; handing it to a go or
+// defer call; and appending it as an element (appending its contents
+// with ... copies, and stays legal).
+//
+// The check is syntactic and local by design: a view passed as an
+// ordinary call argument is not tracked into the callee, and a
+// reassigned local stays tainted. Both soundness gaps are documented
+// in README.md; a deliberate retention is suppressed with
+// //repro:ok sessionview <reason>.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SessionView is the session-owned view retention analyzer.
+var SessionView = &Analyzer{
+	Name: "sessionview",
+	Doc:  "flags retained session-owned views (results of //repro:session-owned functions must be read or Cloned, never stored)",
+	Run:  runSessionView,
+}
+
+func runSessionView(pass *Pass) error {
+	for _, file := range pass.sourceFiles() {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkSessionViews(pass, fd)
+		}
+	}
+	return nil
+}
+
+// viewInfo records where a local became a session-owned view and which
+// function owns it (closure-capture detection compares owners).
+type viewInfo struct {
+	src   string   // the annotated callee the view came from
+	owner ast.Node // FuncDecl or FuncLit the variable is local to
+}
+
+func checkSessionViews(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	views := make(map[*types.Var]viewInfo)
+
+	// bind records the assignment targets of a view-producing
+	// expression: plain locals become tracked views, anything else is
+	// an escape.
+	bind := func(lhs ast.Expr, src string, stack []ast.Node, report bool) {
+		lhs = unparen(lhs)
+		if id, ok := lhs.(*ast.Ident); ok {
+			if id.Name == "_" {
+				return
+			}
+			obj := info.Defs[id]
+			if obj == nil {
+				obj = info.Uses[id]
+			}
+			v, ok := obj.(*types.Var)
+			if !ok || isErrorType(v.Type()) {
+				return
+			}
+			if v.Parent() == pass.Pkg.Scope() {
+				if report {
+					pass.Reportf(id.Pos(), "session-owned view from %s stored in package variable %s (next call overwrites it; Clone to retain)", src, id.Name)
+				}
+				return
+			}
+			if _, seen := views[v]; !seen {
+				views[v] = viewInfo{src: src, owner: enclosingFunc(stack)}
+			}
+			return
+		}
+		if report {
+			pass.Reportf(lhs.Pos(), "session-owned view from %s stored in %s (next call overwrites it; Clone to retain)", src, describeLValue(lhs))
+		}
+	}
+
+	// classify judges one view-valued expression e (an annotated call,
+	// or a use of a tracked view variable) against its ancestors.
+	classify := func(e ast.Expr, src string, stack []ast.Node, report bool) {
+		parent, grand := parentOf(stack)
+		switch p := parent.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range p.Rhs {
+				if unparen(rhs) != e {
+					continue
+				}
+				if len(p.Lhs) == len(p.Rhs) {
+					bind(p.Lhs[i], src, stack, report)
+				} else {
+					// Multi-value call: every non-error target binds
+					// the view.
+					for _, l := range p.Lhs {
+						bind(l, src, stack, report)
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for _, name := range p.Names {
+				bind(name, src, stack, report)
+			}
+		case *ast.ReturnStmt:
+			if fn := enclosingFunc(stack); !report || annotatedSessionOwned(pass, fn) {
+				return
+			}
+			pass.Reportf(e.Pos(), "session-owned view from %s returned (annotate the function //repro:session-owned, or Clone the view)", src)
+		case *ast.SendStmt:
+			if report && unparen(p.Value) == e {
+				pass.Reportf(e.Pos(), "session-owned view from %s sent on a channel (next call overwrites it; Clone to retain)", src)
+			}
+		case *ast.CompositeLit:
+			if report {
+				pass.Reportf(e.Pos(), "session-owned view from %s stored in a composite literal (next call overwrites it; Clone to retain)", src)
+			}
+		case *ast.KeyValueExpr:
+			if report && unparen(p.Value) == e {
+				pass.Reportf(e.Pos(), "session-owned view from %s stored in a composite literal (next call overwrites it; Clone to retain)", src)
+			}
+		case *ast.CallExpr:
+			if !report {
+				return
+			}
+			if _, isGo := grand.(*ast.GoStmt); isGo {
+				pass.Reportf(e.Pos(), "session-owned view from %s passed to a goroutine (the session may overwrite it concurrently; Clone to retain)", src)
+				return
+			}
+			if _, isDefer := grand.(*ast.DeferStmt); isDefer {
+				pass.Reportf(e.Pos(), "session-owned view from %s passed to a deferred call (later session calls overwrite it; Clone to retain)", src)
+				return
+			}
+			if builtinOf(info, p) == "append" {
+				last := len(p.Args) - 1
+				if p.Ellipsis.IsValid() && unparen(p.Args[last]) == e {
+					return // append(dst, view...) copies the contents
+				}
+				pass.Reportf(e.Pos(), "session-owned view from %s appended as an element (next call overwrites it; Clone to retain)", src)
+			}
+		}
+	}
+
+	// Pass 1: find annotated calls, bind views, and iterate local
+	// aliasing (v2 := v) to a fixpoint before judging uses.
+	for {
+		before := len(views)
+		withStack(fd, func(n ast.Node, stack []ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.CallExpr:
+				if fn := calleeOf(info, e); pass.Ann.HasFunc(fn, "session-owned") {
+					classify(e, FuncSymbol(fn), stack, false)
+				}
+			case *ast.Ident:
+				if v, ok := info.Uses[e].(*types.Var); ok {
+					if vi, tracked := views[v]; tracked {
+						classify(e, vi.src, stack, false)
+					}
+				}
+			}
+			return true
+		})
+		if len(views) == before {
+			break
+		}
+	}
+
+	// Pass 2: report escapes.
+	withStack(fd, func(n ast.Node, stack []ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			if fn := calleeOf(info, e); pass.Ann.HasFunc(fn, "session-owned") {
+				classify(e, FuncSymbol(fn), stack, true)
+			}
+		case *ast.Ident:
+			v, ok := info.Uses[e].(*types.Var)
+			if !ok {
+				return true
+			}
+			vi, tracked := views[v]
+			if !tracked {
+				return true
+			}
+			if owner := enclosingFunc(stack); owner != vi.owner {
+				pass.Reportf(e.Pos(), "session-owned view from %s captured by a closure (the closure may outlive the view; Clone to retain)", vi.src)
+				return true
+			}
+			classify(e, vi.src, stack, true)
+		}
+		return true
+	})
+}
+
+// parentOf returns the nearest non-paren ancestor and its own parent.
+func parentOf(stack []ast.Node) (parent, grand ast.Node) {
+	i := len(stack) - 1
+	for i >= 0 {
+		if _, ok := stack[i].(*ast.ParenExpr); !ok {
+			break
+		}
+		i--
+	}
+	if i < 0 {
+		return nil, nil
+	}
+	if i == 0 {
+		return stack[i], nil
+	}
+	return stack[i], stack[i-1]
+}
+
+// annotatedSessionOwned reports whether the function node carries the
+// session-owned directive (FuncLits cannot).
+func annotatedSessionOwned(pass *Pass, fn ast.Node) bool {
+	fd, ok := fn.(*ast.FuncDecl)
+	if !ok {
+		return false
+	}
+	obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	return ok && pass.Ann.HasFunc(obj, "session-owned")
+}
+
+// describeLValue names an escape target for the diagnostic.
+func describeLValue(e ast.Expr) string {
+	switch e.(type) {
+	case *ast.SelectorExpr:
+		return "a struct field"
+	case *ast.IndexExpr:
+		return "a slice or map element"
+	case *ast.StarExpr:
+		return "a dereferenced pointer"
+	}
+	return "a non-local location"
+}

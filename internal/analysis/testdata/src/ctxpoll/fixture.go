@@ -1,0 +1,148 @@
+// Package ctxpoll exercises the cancellation-poll analyzer. The
+// Machine type stands in for a compiled netlist machine; Step carries
+// the //repro:step annotation that obliges driving loops to poll. The
+// pragma opts the package into engine scope.
+//
+//repro:deterministic
+package ctxpoll
+
+import "context"
+
+// Machine is a compiled per-cycle evaluator.
+type Machine struct {
+	cyc uint64
+}
+
+// Step advances the machine one cycle.
+//
+//repro:step
+func (m *Machine) Step() {
+	m.cyc++
+}
+
+// options mirrors engine.Options: Cancelled is a recognized poll.
+type options struct {
+	ctx context.Context
+}
+
+func (o *options) Cancelled() bool {
+	return o.ctx != nil && o.ctx.Err() != nil
+}
+
+func unpolled(m *Machine, n int) {
+	for i := 0; i < n; i++ {
+		m.Step() // want `loop drives ctxpoll.Machine.Step without reaching a Ctx poll`
+	}
+}
+
+func unpolledRange(m *Machine, vectors [][]uint64) {
+	for range vectors {
+		m.Step() // want `loop drives ctxpoll.Machine.Step without reaching a Ctx poll`
+	}
+}
+
+func unpolledClosure(m *Machine, n int, run func(func())) {
+	run(func() {
+		for i := 0; i < n; i++ {
+			m.Step() // want `loop drives ctxpoll.Machine.Step without reaching a Ctx poll`
+		}
+	})
+}
+
+// polledErr uses the engines' established gated poll: reachable per
+// iteration is enough, unconditional is not required.
+func polledErr(ctx context.Context, m *Machine, n int) error {
+	for i := 0; i < n; i++ {
+		if ctx != nil && i&31 == 31 && ctx.Err() != nil {
+			return ctx.Err()
+		}
+		m.Step()
+	}
+	return nil
+}
+
+func polledDone(ctx context.Context, m *Machine, n int) {
+	for i := 0; i < n; i++ {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+		m.Step()
+	}
+}
+
+func polledCancelled(o *options, m *Machine, n int) {
+	for i := 0; i < n; i++ {
+		if o.Cancelled() {
+			return
+		}
+		m.Step()
+	}
+}
+
+// cancelled is the unexported wrapper idiom; the name match is
+// case-insensitive.
+func (o *options) cancelled() bool { return o.Cancelled() }
+
+func polledLowercase(o *options, m *Machine, n int) {
+	for i := 0; i < n; i++ {
+		if o.cancelled() {
+			return
+		}
+		m.Step()
+	}
+}
+
+// nestedInner drives the machine from an inner per-lane loop; the
+// outermost loop polls, which covers every iteration of the nest.
+func nestedInner(ctx context.Context, m *Machine, lanes, n int) {
+	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			return
+		}
+		for l := 0; l < lanes; l++ {
+			m.Step()
+		}
+	}
+}
+
+// RunBounded is itself annotated //repro:step: the obligation moves to
+// its callers, so its internal loop needs no poll.
+//
+//repro:step
+func RunBounded(m *Machine, n int) {
+	for i := 0; i < n; i++ {
+		m.Step()
+	}
+}
+
+func callerOfBounded(ctx context.Context, m *Machine, rounds int) {
+	for r := 0; r < rounds; r++ {
+		if ctx.Err() != nil {
+			return
+		}
+		RunBounded(m, 32)
+	}
+}
+
+func suppressed(m *Machine) {
+	for i := 0; i < 4; i++ {
+		m.Step() //repro:ok ctxpoll bounded four-cycle settle loop
+	}
+}
+
+// Stepper abstracts machines behind an interface; the method doc
+// directive binds calls through the interface too.
+type Stepper interface {
+	// Step advances one cycle.
+	//
+	//repro:step
+	Step()
+}
+
+func unpolledIface(s Stepper, n int) {
+	for i := 0; i < n; i++ {
+		s.Step() // want `loop drives ctxpoll.Stepper.Step without reaching a Ctx poll`
+	}
+}

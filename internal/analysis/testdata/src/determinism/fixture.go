@@ -1,0 +1,137 @@
+// Package determinism exercises the cross-run determinism analyzer.
+// The package is not an engine package by path, so the pragma below
+// opts it into scope the way a downstream engine extension would.
+//
+//repro:deterministic
+package determinism
+
+import (
+	"fmt"
+	"math/rand"
+	"slices"
+	"sort"
+	"time"
+)
+
+type score struct {
+	faults map[string]float64
+	order  []string
+}
+
+func stamp() time.Time {
+	return time.Now() // want `time.Now is nondeterministic across runs`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time.Since is nondeterministic across runs`
+}
+
+func globalDraw() int {
+	return rand.Intn(10) // want `global rand.Intn draws from the shared unseeded source`
+}
+
+func seededDraw(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+func pickAny(m map[string]int) (string, int) {
+	for k, v := range m {
+		return k, v // want `return inside a map range selects an arbitrary element`
+	}
+	return "", 0
+}
+
+func firstMatch(m map[string]int) string {
+	found := ""
+	for k, v := range m {
+		if v > 0 {
+			found = k
+			break // want `break inside a map range selects an arbitrary element`
+		}
+	}
+	return found
+}
+
+func streamOut(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `channel send inside a map range delivers in map iteration order`
+	}
+}
+
+func report(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want `printing inside a map range emits in map iteration order`
+	}
+}
+
+func unsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append inside a map range accumulates in map iteration order`
+	}
+	return keys
+}
+
+func accumulateFloat(s *score) float64 {
+	total := 0.0
+	for _, v := range s.faults {
+		total += v // want `float accumulation in map iteration order is not associative`
+	}
+	return total
+}
+
+func accumulateString(m map[string]int) string {
+	out := ""
+	for k := range m {
+		out += k // want `string concatenation in map iteration order varies per run`
+	}
+	return out
+}
+
+// Legal shapes: collect-then-sort, order-insensitive writes, integer
+// counters, and local accumulation inside the body.
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func slicesSortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+func count(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		if v > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func suppressed(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v //repro:ok determinism debug-only aggregate, never merged
+	}
+	return total
+}

@@ -1,0 +1,72 @@
+// Package hotalloc exercises the allocation-free hot path analyzer:
+// only functions annotated //repro:hotpath are checked, and every
+// allocating construct inside one is a diagnostic.
+package hotalloc
+
+import "fmt"
+
+type state struct {
+	regs []uint64
+	name string
+}
+
+func grow(dst []uint64, n int) []uint64 { return dst }
+func spin()                             {}
+
+// execHot is the per-cycle interpreter loop; its allocation count is
+// pinned to zero.
+//
+//repro:hotpath
+func execHot(s *state, xs []uint64) uint64 {
+	var acc uint64
+	buf := make([]uint64, 8) // want `make allocates in hotpath function execHot`
+	p := new(state)          // want `new allocates in hotpath function execHot`
+	_ = p
+	lit := state{}                 // want `composite literal allocates in hotpath function execHot`
+	f := func() {}                 // want `closure allocates in hotpath function execHot`
+	go spin()                      // want `go statement allocates in hotpath function execHot`
+	defer spin()                   // want `defer allocates in hotpath function execHot`
+	s.name = s.name + "!"          // want `string concatenation allocates in hotpath function execHot`
+	s.regs = append(s.regs, 1)     // want `append may grow and allocate in hotpath function execHot`
+	fmt.Println(acc)               // want `fmt.Println allocates in hotpath function execHot`
+	var box any = interface{}(acc) // want `conversion to interface boxes its operand in hotpath function execHot`
+	_, _, _, _ = buf, lit, f, box
+	for _, x := range xs {
+		acc ^= x
+	}
+	return acc
+}
+
+// execClean stays on the diet: arithmetic, indexing, and calls into the
+// sanctioned growth primitive.
+//
+//repro:hotpath
+func execClean(s *state, xs []uint64) uint64 {
+	var acc uint64
+	s.regs = grow(s.regs, len(xs))
+	for i := range xs {
+		acc ^= xs[i] &^ s.regs[i&7]
+	}
+	if len(s.regs) == 0 {
+		// A panicking path is cold; its arguments may allocate.
+		panic(fmt.Sprintf("empty state %q", s.name))
+	}
+	return acc
+}
+
+// execSuppressed documents its one deliberate allocation.
+//
+//repro:hotpath
+func execSuppressed(n int) []uint64 {
+	buf := make([]uint64, n) //repro:ok hotalloc one-time warm-up buffer, amortized
+	return buf
+}
+
+// coldPath is not annotated, so it may allocate freely.
+func coldPath(n int) []*state {
+	out := make([]*state, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, &state{name: fmt.Sprint(i)})
+	}
+	return out
+}

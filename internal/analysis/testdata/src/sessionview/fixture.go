@@ -1,0 +1,162 @@
+// Package sessionview exercises the session-owned view retention
+// analyzer. The Session type stands in for faultsim.Simulator: View
+// returns a pointer into session-owned storage that the next call
+// overwrites.
+package sessionview
+
+// Result is the view payload.
+type Result struct {
+	Bits []uint64
+}
+
+// Clone returns a detached copy of the result.
+func (r *Result) Clone() *Result {
+	c := &Result{Bits: make([]uint64, len(r.Bits))}
+	copy(c.Bits, r.Bits)
+	return c
+}
+
+// Session owns a result buffer reused across calls.
+type Session struct {
+	res Result
+}
+
+// View returns the session-owned result of the last call.
+//
+//repro:session-owned
+func (s *Session) View() *Result {
+	return &s.res
+}
+
+// Bits returns the session-owned raw lane words.
+//
+//repro:session-owned
+func (s *Session) Bits() []uint64 {
+	return s.res.Bits
+}
+
+// Try is the two-valued form; the error result is never a view.
+//
+//repro:session-owned
+func (s *Session) Try() (*Result, error) {
+	return &s.res, nil
+}
+
+// Holder retains results across rounds.
+type Holder struct {
+	res  *Result
+	tabs [][]uint64
+}
+
+var global *Result
+
+func sink(*Result)      {}
+func sinkBits([]uint64) {}
+
+func storeField(s *Session, h *Holder) {
+	h.res = s.View() // want `session-owned view from sessionview.Session.View stored in a struct field`
+}
+
+func storePackageVar(s *Session) {
+	global = s.View() // want `stored in package variable global`
+}
+
+func storeViaAlias(s *Session, h *Holder) {
+	v := s.View()
+	h.res = v // want `stored in a struct field`
+}
+
+func storeTwoValued(s *Session, h *Holder) error {
+	v, err := s.Try()
+	if err != nil {
+		return err
+	}
+	h.res = v // want `session-owned view from sessionview.Session.Try stored in a struct field`
+	return nil
+}
+
+func returnView(s *Session) *Result {
+	return s.View() // want `session-owned view from sessionview.Session.View returned`
+}
+
+// forward re-exposes the view and says so; returning it is legal.
+//
+//repro:session-owned
+func forward(s *Session) *Result {
+	return s.View()
+}
+
+func sendView(s *Session, ch chan *Result) {
+	ch <- s.View() // want `sent on a channel`
+}
+
+func inCompositeLit(s *Session) {
+	sinkSlice([]*Result{s.View()}) // want `stored in a composite literal`
+}
+
+func inKeyedLit(s *Session) {
+	sinkMap(map[string]*Result{"last": s.View()}) // want `stored in a composite literal`
+}
+
+func sinkSlice([]*Result)                       {}
+func sinkMap(map[string]*Result)                {}
+func spawn(f func())                            {}
+func element(rs []*Result, r *Result) []*Result { return append(rs, r) }
+
+func toGoroutine(s *Session) {
+	go sink(s.View()) // want `passed to a goroutine`
+}
+
+func toDefer(s *Session) {
+	defer sink(s.View()) // want `passed to a deferred call`
+}
+
+func appendElement(s *Session, h *Holder) {
+	h.tabs = append(h.tabs, s.Bits()) // want `appended as an element`
+}
+
+func capturedByClosure(s *Session) func() {
+	v := s.View()
+	return func() {
+		sink(v) // want `captured by a closure`
+	}
+}
+
+// Legal uses: read and move on, spread-append the contents, or Clone.
+
+func readOnly(s *Session) uint64 {
+	v := s.View()
+	if len(v.Bits) == 0 {
+		return 0
+	}
+	return v.Bits[0]
+}
+
+func spreadAppend(s *Session, out []uint64) []uint64 {
+	return append(out, s.Bits()...)
+}
+
+func cloneDetaches(s *Session, h *Holder) {
+	h.res = s.View().Clone()
+}
+
+func cloneAliasDetaches(s *Session, h *Holder) {
+	v := s.View()
+	h.res = v.Clone()
+}
+
+func passAsArgument(s *Session) {
+	// An ordinary call argument is read-scoped by convention; the
+	// analyzer deliberately does not track into callees.
+	sink(s.View())
+	sinkBits(s.Bits())
+}
+
+func suppressed(s *Session, h *Holder) {
+	h.res = s.View() //repro:ok sessionview round is single-shot, no next call
+}
+
+func suppressedAbove(s *Session, h *Holder) {
+	//repro:ok sessionview round is single-shot, no next call
+	h.res = s.View()
+}

@@ -1,0 +1,341 @@
+package analysis
+
+// The go vet driver protocol. "go vet -vettool=<binary> ./..." drives
+// the binary once per package:
+//
+//   - "<binary> -flags" must print a JSON description of the tool's
+//     flags, so cmd/go can validate what the user passes to go vet.
+//   - "<binary> -V=full" must print a line whose build ID changes when
+//     the tool changes; cmd/go folds it into the vet action cache key,
+//     so editing an analyzer invalidates cached results.
+//   - "<binary> [flags] <dir>/vet.cfg" analyzes one package described
+//     by the JSON config: source files, the import map, and export
+//     data files for every dependency. Findings go to stderr as
+//     file:line:col: message, exit status 2. Facts (here: the //repro:
+//     annotation index) are written to cfg.VetxOutput and handed back
+//     as cfg.PackageVetx when dependents are analyzed, which is how a
+//     //repro:session-owned annotation in faultsim reaches a call site
+//     in examples/quickstart.
+//
+// x/tools' unitchecker implements the same protocol; this repository
+// vendors nothing, so the subset the suite needs is implemented here
+// on the standard library alone (the gc export-data importer does the
+// heavy lifting).
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Config is the package description cmd/go writes to vet.cfg. Field
+// names and meaning follow cmd/go/internal/work.vetConfig.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	GoVersion                 string
+	SucceedOnTypecheckFailure bool
+}
+
+// jsonFlag is one row of the -flags handshake.
+type jsonFlag struct {
+	Name  string
+	Bool  bool
+	Usage string
+}
+
+// Main is the entry point of a reprolint-style vettool over the given
+// analyzers. It never returns.
+func Main(analyzers ...*Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	log.SetFlags(0)
+	log.SetPrefix(progname + ": ")
+
+	enabled := make(map[string]*bool, len(analyzers))
+	for _, a := range analyzers {
+		enabled[a.Name] = flag.Bool(a.Name, false, "run only the named analyzers: "+a.Doc)
+	}
+	versionFlag := flag.String("V", "", "print version and exit (cmd/go passes -V=full)")
+	flagsFlag := flag.Bool("flags", false, "print the tool's flags as JSON and exit")
+	jsonFlag_ := flag.Bool("json", false, "emit diagnostics as JSON")
+	flag.Parse()
+
+	if *flagsFlag {
+		rows := []jsonFlag{{Name: "V", Bool: false, Usage: "print version and exit"}, {Name: "json", Bool: true, Usage: "emit JSON output"}}
+		for _, a := range analyzers {
+			rows = append(rows, jsonFlag{Name: a.Name, Bool: true, Usage: a.Doc})
+		}
+		data, err := json.Marshal(rows)
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout.Write(data)
+		fmt.Println()
+		os.Exit(0)
+	}
+	if *versionFlag != "" {
+		if *versionFlag != "full" {
+			log.Fatalf("unsupported flag -V=%s", *versionFlag)
+		}
+		printVersion(progname)
+		os.Exit(0)
+	}
+
+	// "go vet -vettool=t -sessionview ./..." runs only the named
+	// analyzers; with no analyzer flag set, the whole suite runs.
+	anySet := false
+	flag.Visit(func(f *flag.Flag) {
+		if _, ok := enabled[f.Name]; ok && f.Value.String() == "true" {
+			anySet = true
+		}
+	})
+	run := analyzers
+	if anySet {
+		run = nil
+		for _, a := range analyzers {
+			if *enabled[a.Name] {
+				run = append(run, a)
+			}
+		}
+	}
+
+	args := flag.Args()
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		log.Fatalf("invoke via \"go vet -vettool=%s\"; direct use takes a single vet.cfg argument", progname)
+	}
+	diags, err := runConfigFile(args[0], run)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(diags) > 0 {
+		if *jsonFlag_ {
+			printJSONDiagnostics(os.Stdout, diags)
+		} else {
+			for _, d := range diags {
+				fmt.Fprintf(os.Stderr, "%s: %s\n", d.posn, d.message)
+			}
+		}
+		os.Exit(2)
+	}
+	os.Exit(0)
+}
+
+// printVersion emits the -V=full line. The build ID is the content
+// hash of the executable, so cmd/go's vet cache is invalidated exactly
+// when the tool binary changes.
+func printVersion(progname string) {
+	h := sha256.New()
+	exe, err := os.Executable()
+	if err == nil {
+		if f, err2 := os.Open(exe); err2 == nil {
+			io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("%s version devel buildID=%x\n", progname, h.Sum(nil))
+}
+
+// posDiagnostic is one rendered finding.
+type posDiagnostic struct {
+	analyzer string
+	posn     token.Position
+	message  string
+}
+
+func printJSONDiagnostics(w io.Writer, diags []posDiagnostic) {
+	type row struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	byAnalyzer := make(map[string][]row)
+	for _, d := range diags {
+		byAnalyzer[d.analyzer] = append(byAnalyzer[d.analyzer], row{Posn: d.posn.String(), Message: d.message})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	enc.Encode(byAnalyzer)
+}
+
+// runConfigFile loads, type-checks and analyzes the one package a
+// vet.cfg describes, returning position-sorted diagnostics.
+func runConfigFile(cfgPath string, analyzers []*Analyzer) ([]posDiagnostic, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, err
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", cfgPath, err)
+	}
+	return runConfig(&cfg, analyzers)
+}
+
+// runConfig analyzes the package cfg describes. Exposed for the driver
+// tests; Main is the command entry point.
+func runConfig(cfg *Config, analyzers []*Analyzer) ([]posDiagnostic, error) {
+	// Imported annotation facts: the union of every dependency's
+	// exported index.
+	ann := NewAnnotations()
+	for _, vetx := range sortedValues(cfg.PackageVetx) {
+		data, err := os.ReadFile(vetx)
+		if err != nil {
+			continue // a dependency with no facts file has no facts
+		}
+		dep, err := DecodeAnnotations(data)
+		if err != nil {
+			return nil, fmt.Errorf("reading facts %s: %w", vetx, err)
+		}
+		ann.Merge(dep)
+	}
+
+	writeFacts := func(a *Annotations) error {
+		if cfg.VetxOutput == "" {
+			return nil
+		}
+		data, err := a.Encode()
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(cfg.VetxOutput, data, 0o666)
+	}
+
+	// Standard-library packages carry no //repro: directives; skip
+	// parsing them entirely and pass the dependency facts through.
+	if cfg.Standard[cfg.ImportPath] || len(cfg.GoFiles) == 0 {
+		return nil, writeFacts(ann)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, writeFacts(ann)
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	var lookup func(path string) (io.ReadCloser, error)
+	if compiler != "source" { // the source importer forbids a custom lookup
+		lookup = func(path string) (io.ReadCloser, error) {
+			if mapped, ok := cfg.ImportMap[path]; ok {
+				path = mapped
+			}
+			file, ok := cfg.PackageFile[path]
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q", path)
+			}
+			return os.Open(file)
+		}
+	}
+	imp := importer.ForCompiler(fset, compiler, lookup)
+	tcfg := types.Config{
+		Importer:  imp,
+		GoVersion: cfg.GoVersion,
+		Error:     func(error) {}, // keep going; the first error is returned below
+	}
+	pkg, err := tcfg.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, writeFacts(ann)
+		}
+		return nil, fmt.Errorf("typechecking %s: %w", cfg.ImportPath, err)
+	}
+
+	scan := scanDirectives(fset, files, info)
+	ann.Merge(scan.ann)
+	if err := writeFacts(ann); err != nil {
+		return nil, err
+	}
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+
+	var diags []posDiagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Ann:       ann,
+			pragmas:   scan.pragmas,
+			suppress:  scan.suppress,
+		}
+		name := a.Name
+		pass.report = func(d Diagnostic) {
+			diags = append(diags, posDiagnostic{analyzer: name, posn: fset.Position(d.Pos), message: d.Message})
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := diags[i].posn, diags[j].posn
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+	return diags, nil
+}
+
+// sortedValues returns the map's values in key order (facts merge in a
+// deterministic order; the suite should hold itself to its own rule).
+func sortedValues(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}

@@ -1,0 +1,175 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTempPkg writes one Go file and returns its path.
+func writeTempPkg(t *testing.T, name, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(src), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const hotSrc = `package hot
+
+//repro:hotpath
+func exec(xs []uint64) []uint64 {
+	out := make([]uint64, len(xs))
+	copy(out, xs)
+	return out
+}
+`
+
+func TestRunConfigDiagnosticsAndFacts(t *testing.T) {
+	file := writeTempPkg(t, "hot.go", hotSrc)
+	vetx := filepath.Join(t.TempDir(), "hot.vetx")
+	cfg := &Config{
+		ID:         "tmp/hot",
+		Compiler:   "source",
+		ImportPath: "tmp/hot",
+		GoFiles:    []string{file},
+		VetxOutput: vetx,
+	}
+	diags, err := runConfig(cfg, All())
+	if err != nil {
+		t.Fatalf("runConfig: %v", err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %+v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.analyzer != "hotalloc" || !strings.Contains(d.message, "make allocates") {
+		t.Errorf("unexpected diagnostic: %+v", d)
+	}
+	if d.posn.Filename != file || d.posn.Line != 5 {
+		t.Errorf("diagnostic at %s, want %s:5", d.posn, file)
+	}
+
+	data, err := os.ReadFile(vetx)
+	if err != nil {
+		t.Fatalf("facts not written: %v", err)
+	}
+	ann, err := DecodeAnnotations(data)
+	if err != nil {
+		t.Fatalf("facts not decodable: %v", err)
+	}
+	if !ann.Has("tmp/hot.exec", "hotpath") {
+		t.Errorf("facts missing tmp/hot.exec hotpath: %v", ann.Funcs)
+	}
+}
+
+func TestRunConfigVetxOnly(t *testing.T) {
+	file := writeTempPkg(t, "hot.go", hotSrc)
+	vetx := filepath.Join(t.TempDir(), "hot.vetx")
+	cfg := &Config{
+		ID:         "tmp/hot",
+		Compiler:   "source",
+		ImportPath: "tmp/hot",
+		GoFiles:    []string{file},
+		VetxOutput: vetx,
+		VetxOnly:   true,
+	}
+	diags, err := runConfig(cfg, All())
+	if err != nil {
+		t.Fatalf("runConfig: %v", err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("VetxOnly produced diagnostics: %+v", diags)
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Errorf("VetxOnly did not write facts: %v", err)
+	}
+}
+
+func TestRunConfigFactPropagation(t *testing.T) {
+	// A dependency's facts file must flow through to this package's
+	// VetxOutput even when the package itself adds nothing, so
+	// annotations cross more than one package hop.
+	dep := NewAnnotations()
+	dep.add("repro/internal/faultsim.Simulator.Append", "session-owned")
+	depData, err := dep.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	depVetx := filepath.Join(t.TempDir(), "dep.vetx")
+	if err := os.WriteFile(depVetx, depData, 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	file := writeTempPkg(t, "mid.go", "package mid\n\nfunc F() int { return 1 }\n")
+	outVetx := filepath.Join(t.TempDir(), "mid.vetx")
+	cfg := &Config{
+		ID:         "tmp/mid",
+		Compiler:   "source",
+		ImportPath: "tmp/mid",
+		GoFiles:    []string{file},
+		PackageVetx: map[string]string{
+			"repro/internal/faultsim": depVetx,
+			"tmp/missing":             filepath.Join(t.TempDir(), "absent.vetx"),
+		},
+		VetxOutput: outVetx,
+	}
+	diags, err := runConfig(cfg, All())
+	if err != nil {
+		t.Fatalf("runConfig: %v", err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("clean package produced diagnostics: %+v", diags)
+	}
+	data, err := os.ReadFile(outVetx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeAnnotations(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Has("repro/internal/faultsim.Simulator.Append", "session-owned") {
+		t.Errorf("dependency facts not propagated: %v", out.Funcs)
+	}
+}
+
+func TestRunConfigStandardPassthrough(t *testing.T) {
+	vetx := filepath.Join(t.TempDir(), "std.vetx")
+	cfg := &Config{
+		ID:         "fmt",
+		ImportPath: "fmt",
+		GoFiles:    []string{"does-not-exist.go"},
+		Standard:   map[string]bool{"fmt": true},
+		VetxOutput: vetx,
+	}
+	diags, err := runConfig(cfg, All())
+	if err != nil {
+		t.Fatalf("runConfig on standard package: %v", err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("standard package produced diagnostics: %+v", diags)
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Errorf("standard package did not pass facts through: %v", err)
+	}
+}
+
+func TestRunConfigTypecheckFailure(t *testing.T) {
+	file := writeTempPkg(t, "bad.go", "package bad\n\nfunc f() { undefinedIdent() }\n")
+	cfg := &Config{
+		ID:         "tmp/bad",
+		Compiler:   "source",
+		ImportPath: "tmp/bad",
+		GoFiles:    []string{file},
+	}
+	if _, err := runConfig(cfg, All()); err == nil {
+		t.Error("expected a typecheck error")
+	}
+	cfg.SucceedOnTypecheckFailure = true
+	if _, err := runConfig(cfg, All()); err != nil {
+		t.Errorf("SucceedOnTypecheckFailure not honored: %v", err)
+	}
+}

@@ -292,11 +292,24 @@ func (s *Simulator) resetTo(include []int) {
 
 // snapshot refreshes and returns the session-owned cumulative result
 // view (see the Result ownership comment).
+//
+//repro:session-owned
 func (s *Simulator) snapshot() *Result {
 	s.res.Faults = s.faults
 	s.res.FirstDetected = append(s.res.FirstDetected[:0], s.detected...)
 	s.res.Patterns = s.applied
 	return &s.res
+}
+
+// Current returns the cumulative first-detection profile since the last
+// reset without applying anything: the same session-owned view Append
+// returns, reflecting every pattern applied so far. Campaign drivers
+// read it once at the end of a run instead of retaining the view each
+// round.
+//
+//repro:session-owned
+func (s *Simulator) Current() *Result {
+	return s.snapshot()
 }
 
 // Run fault-simulates the ordered test set from power-on reset and
@@ -360,6 +373,8 @@ func (s *Simulator) RunOn(tests []Pattern, include []int) (*Result, error) {
 // retain it — the round-by-round callers (incremental generation, ATPG
 // top-off) read coverage and move on, which is why a warm Append
 // allocates nothing.
+//
+//repro:session-owned
 func (s *Simulator) Append(tests []Pattern) (*Result, error) {
 	// Sticky poisoning wins over the discipline check: a cancelled
 	// AppendTest must keep reporting its own error, not misuse.
@@ -384,6 +399,8 @@ func (s *Simulator) Append(tests []Pattern) (*Result, error) {
 // circuits patterns are independent anyway and AppendTest is identical
 // to Append. The returned Result is the same session-owned view Append
 // returns.
+//
+//repro:session-owned
 func (s *Simulator) AppendTest(test []Pattern) (*Result, error) {
 	if !s.nl.IsSequential() {
 		return s.appendWindow(test, false)
@@ -391,6 +408,10 @@ func (s *Simulator) AppendTest(test []Pattern) (*Result, error) {
 	return s.appendWindow(test, true)
 }
 
+// appendWindow is the shared Append/AppendTest engine dispatch; its
+// result is the same session-owned snapshot view.
+//
+//repro:session-owned
 func (s *Simulator) appendWindow(tests []Pattern, fromReset bool) (*Result, error) {
 	if s.err != nil {
 		return nil, s.err
@@ -618,6 +639,9 @@ func appendCombLanes[W lane.Word](s *Simulator, tests []Pattern) error {
 	sc.batchGood = engine.Grow(sc.batchGood, len(batchPIs))
 	batchGood := sc.batchGood
 	for b, words := range batchPIs {
+		if err := s.cfg.Cancelled(); err != nil {
+			return err
+		}
 		batchGood[b] = append(batchGood[b][:0], goodM.Eval(words)...)
 	}
 
@@ -632,6 +656,11 @@ func appendCombLanes[W lane.Word](s *Simulator, tests []Pattern) error {
 		m.ClearFaults()
 		m.InjectFault(s.faults[fi].Site, all)
 		for b, words := range batchPIs {
+			// IndexedCtx polls between jobs; one job spans every batch,
+			// so long pattern sets poll inside the job too.
+			if b&15 == 15 && s.cfg.Cancelled() != nil {
+				return
+			}
 			lo := b * L
 			laneMask := lane.FirstN[W](len(tests) - lo)
 			badOut := m.Eval(words)

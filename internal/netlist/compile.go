@@ -384,6 +384,10 @@ func (m *Machine[W]) mergeClockInj(ff int32, mask, val W) {
 // returns the PO vectors. The result slice is reused by the next Eval
 // call. It panics when the PI count is wrong (the caller validates
 // pattern shapes once, not per pass).
+//
+//repro:session-owned
+//repro:step
+//repro:hotpath
 func (m *Machine[W]) Eval(pis []W) []W {
 	nl := m.p.nl
 	if len(pis) != len(nl.PIs) {
@@ -416,6 +420,9 @@ func (m *Machine[W]) Eval(pis []W) []W {
 
 // Clock latches each flip-flop's D value from the most recent Eval pass,
 // applying any injected D-pin faults to the captured state.
+//
+//repro:step
+//repro:hotpath
 func (m *Machine[W]) Clock() {
 	for i, src := range m.p.ffSrc {
 		m.state[i] = m.vals[src]
@@ -429,6 +436,7 @@ func (m *Machine[W]) Clock() {
 // Value returns the last computed vector on a gate's output.
 func (m *Machine[W]) Value(id int) W { return m.vals[id] }
 
+//repro:hotpath
 func (m *Machine[W]) execClean() {
 	var w W
 	if len(w) == 1 {
@@ -542,6 +550,8 @@ func (m *Machine[W]) execClean() {
 // execFaulty is execClean plus a per-instruction injection check: every
 // gate takes the fast path first, then gates with an injection record
 // re-evaluate their dirty words through the scalar masked path.
+//
+//repro:hotpath
 func (m *Machine[W]) execFaulty() {
 	var w W
 	if len(w) == 1 {
@@ -664,6 +674,8 @@ func (m *Machine[W]) execFaulty() {
 // independent fault machine. This is what keeps the per-pass injection
 // cost proportional to the batch's fault count rather than fault count
 // times W.
+//
+//repro:hotpath
 func (m *Machine[W]) patchInjected(in *ginstr, rec *injRec[W]) {
 	vals := m.vals
 	if len(rec.pins) == 0 {
@@ -682,7 +694,7 @@ func (m *Machine[W]) patchInjected(in *ginstr, rec *injRec[W]) {
 		if dirty&1 == 0 {
 			continue
 		}
-		read := func(j int) uint64 {
+		read := func(j int) uint64 { //repro:ok hotalloc non-escaping closure, inlined; AllocsPerRun pins the path at zero
 			v := vals[fanin[j]][k]
 			for pi := range rec.pins {
 				if int(rec.pins[pi].pin) == j {
@@ -739,6 +751,8 @@ func (m *Machine[W]) patchInjected(in *ginstr, rec *injRec[W]) {
 // W=4/8, and the width-agreement and parity tests pin all paths
 // bit-identical. The [0] accessors are valid for every W; the callers'
 // shape-constant dispatch makes them reachable only when len(W) == 1.
+//
+//repro:hotpath
 func (m *Machine[W]) execClean1() {
 	vals := m.vals
 	code := m.p.code
@@ -797,6 +811,7 @@ func (m *Machine[W]) execClean1() {
 	}
 }
 
+//repro:hotpath
 func (m *Machine[W]) execFaulty1() {
 	vals := m.vals
 	code := m.p.code

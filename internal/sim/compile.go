@@ -456,6 +456,8 @@ func (m *Machine) Peek(name string) (bitvec.BV, bool) {
 
 // Step applies one input vector, advances one clock cycle, and returns the
 // sampled output vector, exactly like Simulator.Step.
+//
+//repro:step
 func (m *Machine) Step(in Vector) (Vector, error) {
 	out := make(Vector, len(m.p.outSlots))
 	if err := m.StepInto(in, out); err != nil {
@@ -466,6 +468,8 @@ func (m *Machine) Step(in Vector) (Vector, error) {
 
 // StepInto is Step without allocating: outputs are written into out, which
 // must hold NumOutputs elements. The scoring pool's inner loop uses it.
+//
+//repro:step
 func (m *Machine) StepInto(in Vector, out Vector) error {
 	p := m.p
 	if len(in) != len(p.inSlots) {
@@ -496,7 +500,11 @@ func (m *Machine) StepInto(in Vector, out Vector) error {
 
 // Run resets the machine and applies the whole sequence, returning one
 // output vector per cycle. The rows are freshly allocated; trace loops
-// that rerun the same machine use RunInto.
+// that rerun the same machine use RunInto. Run is //repro:step — it is
+// bounded by its sequence, so the Ctx polling obligation sits with the
+// campaign loops that call it.
+//
+//repro:step
 func (m *Machine) Run(seq Sequence) ([]Vector, error) {
 	return m.RunInto(seq, nil)
 }
@@ -506,6 +514,8 @@ func (m *Machine) Run(seq Sequence) ([]Vector, error) {
 // good circuit every round stops allocating after warm-up. The returned
 // trace (which may differ from outs) is valid until the next RunInto on
 // the same buffer.
+//
+//repro:step
 func (m *Machine) RunInto(seq Sequence, outs []Vector) ([]Vector, error) {
 	m.Reset()
 	outs = engine.Grow(outs, len(seq))
@@ -519,6 +529,8 @@ func (m *Machine) RunInto(seq Sequence, outs []Vector) ([]Vector, error) {
 }
 
 // exec interprets one instruction stream against the machine state.
+//
+//repro:hotpath
 func (m *Machine) exec(code []instr) {
 	env, next := m.env, m.next
 	for pc := 0; pc < len(code); pc++ {

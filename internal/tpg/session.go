@@ -272,11 +272,12 @@ func (r *genRun) generate(targets []int) (*Result, error) {
 }
 
 // finish detaches the result from session-owned state: the cumulative
-// fault-sim snapshot is a view the next Append would overwrite, so the
-// caller gets a clone. Everything else in the result is already fresh.
+// fault-sim profile is a view the next Append would overwrite, so the
+// caller gets a clone, fetched once here rather than retained round by
+// round. Everything else in the result is already fresh.
 func (r *genRun) finish() *Result {
-	if r.res.FaultSim != nil {
-		r.res.FaultSim = r.res.FaultSim.Clone()
+	if r.s.fsim != nil {
+		r.res.FaultSim = r.s.fsim.Current().Clone()
 	}
 	return r.res
 }
@@ -326,7 +327,11 @@ func (r *genRun) cancelled() error {
 
 // stepAll advances the original and every target simulator (killed
 // targets keep stepping so later dedicated segments see true state).
-// Outputs land in session scratch; only the kill flags escape.
+// Outputs land in session scratch; only the kill flags escape. stepAll
+// is one machine cycle — //repro:step, so the campaign loop above it
+// carries the Ctx polling obligation.
+//
+//repro:step
 func (r *genRun) stepAll(v sim.Vector) error {
 	sc := &r.s.sc
 	want := sc.want[:r.nOuts]
@@ -361,7 +366,10 @@ func (r *genRun) fillRand(v sim.Vector) {
 
 // origOutputs simulates a candidate segment on the original from the
 // current state (restored afterwards) and returns its outputs. The rows
-// are session scratch, valid until the next candidate is scored.
+// are session scratch, valid until the next candidate is scored. The
+// run is bounded by one candidate segment (//repro:step).
+//
+//repro:step
 func (r *genRun) origOutputs(seg sim.Sequence) ([]sim.Vector, error) {
 	sc := &r.s.sc
 	sc.snapOrig = r.s.orig.SnapshotInto(sc.snapOrig)
@@ -378,7 +386,10 @@ func (r *genRun) origOutputs(seg sim.Sequence) ([]sim.Vector, error) {
 }
 
 // segKills simulates the segment on one live mutant (state restored)
-// and reports whether its outputs diverge from the original's.
+// and reports whether its outputs diverge from the original's. Bounded
+// by one candidate segment (//repro:step).
+//
+//repro:step
 func (r *genRun) segKills(lm *liveMutant, seg sim.Sequence, origOuts []sim.Vector) (bool, error) {
 	sc := &r.s.sc
 	sc.snapMut = lm.sim.SnapshotInto(sc.snapMut)
@@ -396,6 +407,9 @@ func (r *genRun) segKills(lm *liveMutant, seg sim.Sequence, origOuts []sim.Vecto
 }
 
 // scoreCandidate counts fresh (still-live) kills for a candidate.
+// Bounded by one candidate over the live mutants (//repro:step).
+//
+//repro:step
 func (r *genRun) scoreCandidate(seg sim.Sequence, origOuts []sim.Vector) (int, error) {
 	kills := 0
 	for _, lm := range r.all {
@@ -443,7 +457,10 @@ func (r *genRun) newSegment(ci int) sim.Sequence {
 // target machine advance through it, the sequence grows (by copies — the
 // candidate buffer is round scratch, the result is caller-owned), and —
 // when a fault simulator is attached — the segment is appended
-// incrementally and the round's cumulative coverage recorded.
+// incrementally and the round's cumulative coverage recorded. Bounded
+// by one accepted segment (//repro:step).
+//
+//repro:step
 func (r *genRun) appendSegment(seg sim.Sequence) error {
 	for _, v := range seg {
 		if err := r.stepAll(v); err != nil {
@@ -459,8 +476,9 @@ func (r *genRun) appendSegment(seg sim.Sequence) error {
 // given cycles; boundary marks an accepted-segment boundary whose
 // cumulative coverage is recorded in RoundCoverage. The bit-blasted
 // patterns are session scratch (the simulator does not retain them) and
-// the returned Result is the simulator's session-owned view — finish()
-// clones the final one into the campaign result.
+// the returned Result is the simulator's session-owned view: coverage
+// is read off it immediately and the view is dropped — finish() fetches
+// and clones the final profile into the campaign result.
 func (r *genRun) faultAppend(seg sim.Sequence, boundary bool) error {
 	if r.s.fsim == nil {
 		return nil
@@ -471,7 +489,6 @@ func (r *genRun) faultAppend(seg sim.Sequence, boundary bool) error {
 	if err != nil {
 		return fmt.Errorf("tpg: fault sim: %w", err)
 	}
-	r.res.FaultSim = fres
 	if boundary {
 		r.res.RoundCoverage = append(r.res.RoundCoverage, fres.Coverage())
 	}

@@ -2,7 +2,9 @@ package main
 
 import (
 	"os"
+	"os/exec"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -169,5 +171,67 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 	if _, err := run(filepath.Join(dir, "absent.json"), curPath, 0.1); err == nil {
 		t.Error("missing baseline accepted")
+	}
+}
+
+func TestGateExit(t *testing.T) {
+	cases := []struct {
+		strict      bool
+		regressions int
+		want        int
+	}{
+		{false, 0, 0},
+		{false, 3, 0}, // report mode never gates
+		{true, 0, 0},
+		{true, 1, 1},
+	}
+	for _, c := range cases {
+		if got := gateExit(c.strict, c.regressions); got != c.want {
+			t.Errorf("gateExit(strict=%v, regressions=%d) = %d, want %d", c.strict, c.regressions, got, c.want)
+		}
+	}
+}
+
+// TestMainExitStatus runs the real main (re-execing the test binary)
+// against a summary pair with one regression: report mode must exit 0,
+// -strict must exit 1.
+func TestMainExitStatus(t *testing.T) {
+	if os.Getenv("BENCHCMP_TEST_MAIN") == "1" {
+		os.Args = strings.Split(os.Getenv("BENCHCMP_TEST_ARGS"), "\x1f")
+		main()
+		os.Exit(0)
+	}
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "base.json")
+	curPath := filepath.Join(dir, "cur.json")
+	if err := os.WriteFile(basePath, []byte(baseJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(curPath, []byte(curJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	exitOf := func(args ...string) int {
+		cmd := exec.Command(os.Args[0], "-test.run=TestMainExitStatus$")
+		cmd.Env = append(os.Environ(),
+			"BENCHCMP_TEST_MAIN=1",
+			"BENCHCMP_TEST_ARGS=benchcmp\x1f"+strings.Join(args, "\x1f"))
+		err := cmd.Run()
+		if err == nil {
+			return 0
+		}
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		t.Fatalf("re-exec failed: %v", err)
+		return -1
+	}
+	if code := exitOf(basePath, curPath); code != 0 {
+		t.Errorf("report mode exited %d, want 0", code)
+	}
+	if code := exitOf("-strict", basePath, curPath); code != 1 {
+		t.Errorf("-strict with a regression exited %d, want 1", code)
+	}
+	if code := exitOf("-strict", "-threshold", "0.5", basePath, curPath); code != 0 {
+		t.Errorf("-strict with no regression exited %d, want 0", code)
 	}
 }
