@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build examples vet lint fmt-check test race bench bench-smoke bench-compare ci clean
+.PHONY: all build examples vet lint fmt-check test race bench bench-smoke bench-compare determinism-smoke ci clean
 
 all: build
 
@@ -58,6 +58,13 @@ bench-compare:
 		echo "bench-compare: need a committed baseline and a fresh BENCH_*.json (run make bench)"; exit 1; fi; \
 	echo "comparing $$base -> $$new"; \
 	$(GO) run ./scripts/benchcmp $(BENCHCMP_FLAGS) "$$base" "$$new"
+
+# Cross-process determinism: N fresh-process seq top-off runs per worker
+# setting, byte-compared (scripts/detsmoke.sh). Each run gets its own map
+# seed, which is the point — this catches iteration-order leaks that
+# same-process replays cannot. Override: make determinism-smoke RUNS=20.
+determinism-smoke:
+	sh scripts/detsmoke.sh $(RUNS)
 
 ci: build examples vet lint fmt-check race bench-smoke
 

@@ -559,6 +559,49 @@ func BenchmarkFaultSimSequentialLanesW1(b *testing.B) { benchmarkFaultSimSequent
 func BenchmarkFaultSimSequentialLanesW4(b *testing.B) { benchmarkFaultSimSequentialLanes(b, 4) }
 func BenchmarkFaultSimSequentialLanesW8(b *testing.B) { benchmarkFaultSimSequentialLanes(b, 8) }
 
+// benchmarkFaultSimSeqLongHorizon is the masked-execution ablation: a
+// long-horizon b03 drop-sim campaign (2048 cycles appended in 64-cycle
+// windows on one core, W=8 lanes) where most faults are detected early,
+// so the tail windows run almost entirely on retired lanes. With
+// re-planning on, the scheduler compacts survivors onto narrower
+// machines between windows; StaticPlan pins the initial W8 plan and
+// keeps evaluating the dead words — the ratio between the two rows is
+// the win from not simulating them. Results are bit-identical either
+// way (pinned in internal/difftest).
+func benchmarkFaultSimSeqLongHorizon(b *testing.B, static bool) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	c := circuits.MustLoad("b03")
+	nl, err := synth.Synthesize(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := faultsim.Config{StaticPlan: static, Options: engine.Options{LaneWords: 8}}
+	fs, err := cfg.New(nl, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pats := tpg.ToPatterns(c, tpg.RawRandomSequence(c, 2048, 17))
+	const window = 64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fs.Reset()
+		for lo := 0; lo < len(pats); lo += window {
+			if _, err := fs.Append(pats[lo : lo+window]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(pats)*len(fs.Faults())*b.N)/b.Elapsed().Seconds(), "faultcycles/s")
+}
+
+// BenchmarkFaultSimSeqLongHorizon is the production scheduler: survivors
+// are re-packed onto narrower machines as lanes retire.
+func BenchmarkFaultSimSeqLongHorizon(b *testing.B) { benchmarkFaultSimSeqLongHorizon(b, false) }
+
+// BenchmarkFaultSimSeqLongHorizonStatic pins the initial plan for the
+// whole campaign — dead lanes keep getting evaluated.
+func BenchmarkFaultSimSeqLongHorizonStatic(b *testing.B) { benchmarkFaultSimSeqLongHorizon(b, true) }
+
 func BenchmarkPODEM(b *testing.B) {
 	c := circuits.MustLoad("c432")
 	nl, err := synth.Synthesize(c)

@@ -119,6 +119,30 @@ func TestIncrementalAppendParity(t *testing.T) {
 				if t.Failed() {
 					t.FailNow()
 				}
+				// Same chunked campaign with mid-campaign re-planning
+				// pinned off: the scheduler's lane compaction (see
+				// faultsim.Config.StaticPlan) must be invisible in the
+				// results at every engine setting and chunking.
+				stat, err := faultsim.Config{StaticPlan: true, Options: ec.options()}.New(nl, nil)
+				if err != nil {
+					t.Fatalf("%s: %v", ec, err)
+				}
+				lo = 0
+				for _, n := range lens {
+					if got, err = stat.Append(pats[lo : lo+n]); err != nil {
+						t.Fatalf("%s: StaticPlan Append: %v", ec, err)
+					}
+					lo += n
+				}
+				for i := range want.FirstDetected {
+					if got.FirstDetected[i] != want.FirstDetected[i] {
+						t.Errorf("%s: fault %d detected at %d under StaticPlan, want %d",
+							ec, i, got.FirstDetected[i], want.FirstDetected[i])
+					}
+				}
+				if t.Failed() {
+					t.FailNow()
+				}
 			}
 		})
 	}

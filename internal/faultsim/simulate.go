@@ -105,6 +105,15 @@ func (r *Result) Undetected() []Fault {
 // setting (see parity_test.go and internal/difftest).
 type Config struct {
 	engine.Options
+	// StaticPlan pins the initial parallel-fault batch plan for the
+	// whole session, disabling the scheduler's mid-campaign re-planning
+	// (the "masked execution" compaction that moves surviving lanes from
+	// half-dead wide batches onto narrower machines; see
+	// ARCHITECTURE.md). Results are bit-identical either way — lanes are
+	// independent and the stimulus is broadcast — so the knob exists for
+	// the scheduler-ablation benchmarks and the differential fuzz
+	// harness, not for production tuning.
+	StaticPlan bool
 }
 
 func (c Config) reference() bool { return c.Serial() }
@@ -154,6 +163,11 @@ type Simulator struct {
 	freeW1  []*netlist.Machine[lane.W1] // per-width armed-machine free
 	freeW4  []*netlist.Machine[lane.W4] // lists: retired batches return
 	freeW8  []*netlist.Machine[lane.W8] // machines here, arming redraws
+	chunks  []seqChunk                  // plan scratch (planSeqChunks + re-plan cost probe)
+	surv    [][]uint64                  // re-plan scratch: packed FF state per surviving lane
+	shellW1 []*seqBatchW[lane.W1]       // per-width batch-shell free lists:
+	shellW4 []*seqBatchW[lane.W4]       // re-planning recycles batch state
+	shellW8 []*seqBatchW[lane.W8]       // like machines, so warm re-plans allocate nothing
 }
 
 // freeList returns the session's machine free list at width W (the same
@@ -196,6 +210,40 @@ func putMachine[W lane.Word](s *Simulator, m *netlist.Machine[W]) {
 	}
 	lst := freeList[W](s)
 	*lst = append(*lst, m)
+}
+
+// shellList returns the session's batch-shell free list at width W.
+func shellList[W lane.Word](s *Simulator) *[]*seqBatchW[W] {
+	var w W
+	switch len(w) {
+	case 4:
+		return any(&s.shellW4).(*[]*seqBatchW[W])
+	case 8:
+		return any(&s.shellW8).(*[]*seqBatchW[W])
+	default:
+		return any(&s.shellW1).(*[]*seqBatchW[W])
+	}
+}
+
+// newBatch draws a recycled batch shell at width W (or builds one when
+// the pool is dry) and fills it with a copy of the given frontier slice,
+// every lane live and the machine not yet armed. Serial session code
+// only.
+func newBatch[W lane.Word](s *Simulator, faults []int) *seqBatchW[W] {
+	lst := shellList[W](s)
+	var c *seqBatchW[W]
+	if n := len(*lst); n > 0 {
+		c = (*lst)[n-1]
+		(*lst)[n-1] = nil
+		*lst = (*lst)[:n-1]
+	} else {
+		c = &seqBatchW[W]{}
+	}
+	c.faults = append(c.faults[:0], faults...)
+	c.active = lane.FirstN[W](len(c.faults))
+	c.m = nil
+	c.done = false
+	return c
 }
 
 // New builds a fault simulator with the default configuration. The fault
@@ -281,7 +329,7 @@ func (s *Simulator) resetTo(include []int) {
 	s.live = include
 	s.refSeq = s.refSeq[:0]
 	for _, b := range s.batches {
-		b.release(s)
+		b.recycle(s)
 	}
 	s.batches = s.batches[:0]
 	if s.goodM != nil {
@@ -487,9 +535,10 @@ func (s *Simulator) Retire(fi int) error {
 }
 
 // prune drops detected faults from the frontier and retired batches from
-// the schedule, returning each retired batch's machine to the session
-// free list (prune runs serially after the parallel section, so it is
-// the safe place to touch the lists).
+// the schedule, returning each retired batch's machine and shell to the
+// session free lists (prune runs serially after the parallel section, so
+// it is the safe place to touch the lists). It then gives the re-planner
+// a chance to compact the surviving lanes onto a cheaper plan.
 func (s *Simulator) prune() {
 	liveOut := s.live[:0]
 	for _, fi := range s.live {
@@ -505,28 +554,79 @@ func (s *Simulator) prune() {
 				batchOut = append(batchOut, b)
 				continue
 			}
-			b.release(s)
-			// Drop the lane index entries too, so a retired batch shell
-			// (fault list, masks) is actually released, not pinned by
-			// the map.
+			// Unindex before recycling: the shell returns to the width
+			// pool and must not stay reachable through the lane map.
 			for _, fi := range b.faultList() {
 				delete(s.batchFor, fi)
 			}
+			b.recycle(s)
 		}
 		s.batches = batchOut
+	}
+	if !s.cfg.StaticPlan {
+		s.maybeReplan()
+	}
+}
+
+// maybeReplan compacts the surviving lanes onto a fresh batch plan when
+// that plan costs strictly fewer pass-units per window than the current
+// one — the scheduler's answer to "masked exec for retired words". Long
+// campaigns drop most lanes early; without compaction a batch with one
+// survivor still pays a full W-word Machine pass every cycle for words
+// whose every lane is dead. Re-planning moves each surviving lane's
+// flip-flop state (LaneStateInto/SetLaneState, so widths can change)
+// onto the cheapest plan for the shrunken frontier — typically merging
+// half-dead W8 batches into one narrow batch, ending at the
+// scalar-specialized W1 machine. Results are bit-identical: lanes are
+// independent, the stimulus is broadcast to all of them, and detection
+// indices derive from each fault's own lane. Machines and batch shells
+// cycle through the session free lists, so a warm re-plan allocates
+// nothing. Serial session code only (prune).
+func (s *Simulator) maybeReplan() {
+	n := len(s.live)
+	if n == 0 || len(s.batches) == 0 {
+		return
+	}
+	cur := 0
+	for _, b := range s.batches {
+		if !b.armed() {
+			return // plan never ran a window; nothing to compact
+		}
+		cur += passCost(b.width())
+	}
+	planned := 0
+	for _, c := range s.planSeqChunks(n) {
+		planned += passCost(c.words)
+	}
+	if planned >= cur {
+		return
+	}
+	// Carry each surviving lane's flip-flop state over, in frontier
+	// order — batches hold contiguous frontier slices, so batch-major
+	// lane order IS s.live order.
+	s.surv = engine.Grow(s.surv, n)
+	idx := 0
+	for _, b := range s.batches {
+		idx = b.extractLive(s, idx)
+	}
+	if idx != n {
+		// The frontier and the lane masks disagree — never expected; keep
+		// the current (correct) plan rather than compact from state we
+		// cannot trust.
+		return
+	}
+	for _, b := range s.batches {
+		b.recycle(s)
+	}
+	s.batches = s.planBatches(s.live)
+	idx = 0
+	for _, b := range s.batches {
+		b.arm(s)
+		idx = b.implantLive(s, idx)
 	}
 }
 
 const allLanes = ^uint64(0)
-
-// laneMaskFor returns the mask selecting the first n of 64 lanes (the
-// reference engine's single-word tail mask).
-func laneMaskFor(n int) uint64 {
-	if n >= 64 {
-		return allLanes
-	}
-	return uint64(1)<<uint(n) - 1
-}
 
 // --- compiled combinational (pattern-parallel) -------------------------------
 
@@ -725,9 +825,13 @@ func tailWidth(n, maxWords int) int {
 
 // planSeqChunks carves the include list into lane batches: full-width
 // batches at the configured width, then ragged-tail batches at whatever
-// narrower width simulates the remainder cheapest.
+// narrower width simulates the remainder cheapest. The returned slice is
+// session-owned scratch, overwritten by the next plan (the re-planner
+// probes candidate plans every prune, so this must not allocate warm).
+//
+//repro:session-owned
 func (s *Simulator) planSeqChunks(n int) []seqChunk {
-	var out []seqChunk
+	out := s.chunks[:0]
 	L := s.words * 64
 	lo := 0
 	for n-lo >= L {
@@ -740,12 +844,16 @@ func (s *Simulator) planSeqChunks(n int) []seqChunk {
 		out = append(out, seqChunk{lo: lo, hi: hi, words: w})
 		lo = hi
 	}
+	s.chunks = out
 	return out
 }
 
 // planBatches instantiates the chunk plan as stateful session batches and
-// indexes each fault's batch (fault-to-lane positions never change after
-// planning, so Retire can go straight to the owning batch).
+// indexes each fault's batch (fault-to-lane positions never change while
+// a plan is live, so Retire can go straight to the owning batch; a
+// re-plan rebuilds the index wholesale). Batch shells come from the
+// per-width shell pools, so a plan over recycled shells allocates
+// nothing.
 func (s *Simulator) planBatches(include []int) []seqBatch {
 	chunks := s.planSeqChunks(len(include))
 	out := s.batches[:0]
@@ -755,18 +863,17 @@ func (s *Simulator) planBatches(include []int) []seqBatch {
 		clear(s.batchFor)
 	}
 	for _, c := range chunks {
-		faults := append([]int(nil), include[c.lo:c.hi]...)
 		var b seqBatch
 		switch c.words {
 		case 4:
-			b = &seqBatchW[lane.W4]{faults: faults, active: lane.FirstN[lane.W4](len(faults))}
+			b = newBatch[lane.W4](s, include[c.lo:c.hi])
 		case 8:
-			b = &seqBatchW[lane.W8]{faults: faults, active: lane.FirstN[lane.W8](len(faults))}
+			b = newBatch[lane.W8](s, include[c.lo:c.hi])
 		default:
-			b = &seqBatchW[lane.W1]{faults: faults, active: lane.FirstN[lane.W1](len(faults))}
+			b = newBatch[lane.W1](s, include[c.lo:c.hi])
 		}
 		out = append(out, b)
-		for _, fi := range faults {
+		for _, fi := range b.faultList() {
 			s.batchFor[fi] = b
 		}
 	}
@@ -798,6 +905,21 @@ type seqBatch interface {
 	// faultList exposes the batch's lane-ordered fault indices (prune
 	// uses it to unindex retired batches).
 	faultList() []int
+	// armed reports whether the batch machine is drawn and injected (a
+	// retired or not-yet-run batch reports false).
+	armed() bool
+	// recycle releases the batch machine and returns the batch shell to
+	// the session's per-width shell pool; the batch must already be out
+	// of the schedule and the lane index. Serial session code only.
+	recycle(s *Simulator)
+	// extractLive packs each still-live lane's flip-flop state into
+	// s.surv starting at row idx (lane order == frontier order) and
+	// returns the next free row. Serial session code only (re-plan).
+	extractLive(s *Simulator, idx int) int
+	// implantLive loads rows idx.. of s.surv into lanes 0..n-1 of the
+	// armed batch machine and returns the next unread row (a fresh plan
+	// has every lane live). Serial session code only (re-plan).
+	implantLive(s *Simulator, idx int) int
 }
 
 // seqBatchW is the per-width batch state. Each live batch owns its
@@ -819,6 +941,32 @@ type seqBatchW[W lane.Word] struct {
 func (c *seqBatchW[W]) width() int       { var w W; return len(w) }
 func (c *seqBatchW[W]) retired() bool    { return c.done }
 func (c *seqBatchW[W]) faultList() []int { return c.faults }
+func (c *seqBatchW[W]) armed() bool      { return c.m != nil }
+
+func (c *seqBatchW[W]) recycle(s *Simulator) {
+	c.release(s)
+	lst := shellList[W](s)
+	*lst = append(*lst, c)
+}
+
+func (c *seqBatchW[W]) extractLive(s *Simulator, idx int) int {
+	for ln := range c.faults {
+		if c.active[ln>>6]>>uint(ln&63)&1 == 0 {
+			continue
+		}
+		s.surv[idx] = c.m.LaneStateInto(ln, s.surv[idx])
+		idx++
+	}
+	return idx
+}
+
+func (c *seqBatchW[W]) implantLive(s *Simulator, idx int) int {
+	for ln := range c.faults {
+		c.m.SetLaneState(ln, s.surv[idx])
+		idx++
+	}
+	return idx
+}
 
 func (c *seqBatchW[W]) arm(s *Simulator) {
 	if c.m != nil || c.done {
@@ -1057,7 +1205,9 @@ func (s *Simulator) appendCombinationalRef(tests []Pattern) error {
 	batches:
 		for b, words := range batchPIs {
 			lo := b * 64
-			laneMask := laneMaskFor(len(tests) - lo)
+			// One tail-mask implementation for both engines: the
+			// reference's single-word mask is lane.FirstN at width 1.
+			laneMask := lane.FirstN[lane.W1](len(tests) - lo)[0]
 			badOut := s.bad.EvalWith(words, s.faults[fi].Site, allLanes)
 			var diff uint64
 			for po := range badOut {

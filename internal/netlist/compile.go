@@ -282,6 +282,50 @@ func (m *Machine[W]) State() []W {
 	return out
 }
 
+// LaneStateInto extracts one lane's flip-flop state as packed bits — bit
+// i%64 of word i/64 is flip-flop i — growing dst as needed and returning
+// it. The vector-shaped State/SetState pair cannot carry a single lane
+// between machines of different widths; the fault scheduler's
+// mid-campaign re-planner uses this pair to move a surviving fault
+// machine onto a narrower vector without replaying its trace.
+func (m *Machine[W]) LaneStateInto(ln int, dst []uint64) []uint64 {
+	var zero W
+	if ln < 0 || ln >= len(zero)*64 {
+		panic(fmt.Sprintf("netlist: lane %d out of range [0,%d)", ln, len(zero)*64))
+	}
+	w, b := ln>>6, uint(ln&63)
+	n := (len(m.state) + 63) / 64
+	if cap(dst) < n {
+		dst = make([]uint64, n)
+	} else {
+		dst = dst[:n]
+		for i := range dst {
+			dst[i] = 0
+		}
+	}
+	for i := range m.state {
+		dst[i>>6] |= (m.state[i][w] >> b & 1) << uint(i&63)
+	}
+	return dst
+}
+
+// SetLaneState implants packed flip-flop bits (LaneStateInto's layout)
+// into one lane, leaving every other lane's state untouched.
+func (m *Machine[W]) SetLaneState(ln int, src []uint64) {
+	var zero W
+	if ln < 0 || ln >= len(zero)*64 {
+		panic(fmt.Sprintf("netlist: lane %d out of range [0,%d)", ln, len(zero)*64))
+	}
+	if need := (len(m.state) + 63) / 64; len(src) < need {
+		panic(fmt.Sprintf("netlist: SetLaneState with %d words for %d FFs", len(src), len(m.state)))
+	}
+	w, b := ln>>6, uint(ln&63)
+	for i := range m.state {
+		bit := src[i>>6] >> uint(i&63) & 1
+		m.state[i][w] = m.state[i][w]&^(1<<b) | bit<<b
+	}
+}
+
 // InjectFault adds a stuck-at fault to the machine's current batch,
 // confined to the lanes selected by laneMask. Distinct faults injected
 // into disjoint lanes evaluate as independent fault machines in one pass.

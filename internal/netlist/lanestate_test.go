@@ -1,0 +1,153 @@
+package netlist
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/lane"
+)
+
+// randomLaneStates fills every FF vector of a width-W machine with
+// random bits and returns the raw vectors for reference.
+func randomLaneStates[W lane.Word](m *Machine[W], rng *rand.Rand) []W {
+	st := m.State()
+	for i := range st {
+		for k := 0; k < len(st[i]); k++ {
+			st[i][k] = rng.Uint64()
+		}
+	}
+	m.SetState(st)
+	return st
+}
+
+// laneBit reads FF i of lane ln out of a raw state vector slice.
+func laneBit[W lane.Word](st []W, i, ln int) uint64 {
+	return st[i][ln>>6] >> uint(ln&63) & 1
+}
+
+// testLaneStateRoundTrip pins LaneStateInto/SetLaneState at one width:
+// extraction matches the raw vectors bit for bit, implanting into a
+// different lane reproduces the source lane there, and no other lane's
+// state is disturbed.
+func testLaneStateRoundTrip[W lane.Word](t *testing.T, seed int64) {
+	nl := randomNetlist(t, seed, 4, 67, 40) // 67 FFs: packed state spills into a second word
+	p, err := Compile(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	m := NewMachine[W](p)
+	st := randomLaneStates(m, rng)
+	L := lane.Count[W]()
+	var row []uint64
+	for _, src := range []int{0, L / 2, L - 1} {
+		row = m.LaneStateInto(src, row)
+		for i := range st {
+			if got, want := row[i>>6]>>uint(i&63)&1, laneBit(st, i, src); got != want {
+				t.Fatalf("lane %d FF %d: extracted %d, state vector has %d", src, i, got, want)
+			}
+		}
+		dst := (src + 1) % L
+		other := NewMachine[W](p)
+		before := randomLaneStates(other, rng)
+		other.SetLaneState(dst, row)
+		after := other.State()
+		for i := range after {
+			for ln := 0; ln < L; ln++ {
+				want := laneBit(before, i, ln)
+				if ln == dst {
+					want = laneBit(st, i, src)
+				}
+				if got := laneBit(after, i, ln); got != want {
+					t.Fatalf("implant into lane %d: FF %d lane %d is %d, want %d", dst, i, ln, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestLaneStateRoundTrip(t *testing.T) {
+	t.Run("W1", func(t *testing.T) { testLaneStateRoundTrip[lane.W1](t, 41) })
+	t.Run("W4", func(t *testing.T) { testLaneStateRoundTrip[lane.W4](t, 42) })
+	t.Run("W8", func(t *testing.T) { testLaneStateRoundTrip[lane.W8](t, 43) })
+}
+
+func mustPanic(t *testing.T, label string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: no panic", label)
+		}
+	}()
+	f()
+}
+
+func TestLaneStateBounds(t *testing.T) {
+	nl := randomNetlist(t, 3, 4, 10, 30)
+	p, err := Compile(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine[lane.W4](p)
+	row := m.LaneStateInto(0, nil)
+	mustPanic(t, "extract lane -1", func() { m.LaneStateInto(-1, nil) })
+	mustPanic(t, "extract lane 256", func() { m.LaneStateInto(256, nil) })
+	mustPanic(t, "implant lane 256", func() { m.SetLaneState(256, row) })
+	mustPanic(t, "implant short src", func() { m.SetLaneState(0, row[:0]) })
+}
+
+// TestLaneStateCrossWidthTransplant is the property the re-planner rests
+// on: carrying one lane's flip-flop state from a wide machine onto a
+// narrow one and continuing the sequence there produces exactly the
+// outputs the wide machine's lane would have produced.
+func TestLaneStateCrossWidthTransplant(t *testing.T) {
+	nl := randomNetlist(t, 7, 5, 9, 60)
+	p, err := Compile(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	wide := NewMachine[lane.W8](p)
+	// Distinct per-lane histories: random state plus a few warm-up
+	// cycles of random broadcast stimulus.
+	randomLaneStates(wide, rng)
+	pis8 := make([]lane.W8, len(nl.PIs))
+	for cyc := 0; cyc < 5; cyc++ {
+		for i := range pis8 {
+			for k := 0; k < len(pis8[i]); k++ {
+				pis8[i][k] = rng.Uint64()
+			}
+		}
+		wide.Eval(pis8)
+		wide.Clock()
+	}
+	const src = 131 // an arbitrary lane in word 2
+	narrow := NewMachine[lane.W1](p)
+	narrow.SetLaneState(0, wide.LaneStateInto(src, nil))
+	// Same stimulus bit on every lane of both machines (lane ln reads bit
+	// ln&63 of its word, so the replicated word must hold one value in
+	// all 64 bit positions); the narrow machine's lane 0 must track the
+	// wide machine's lane src cycle for cycle.
+	pis1 := make([]lane.W1, len(nl.PIs))
+	for cyc := 0; cyc < 8; cyc++ {
+		for i := range pis1 {
+			var w uint64
+			if rng.Intn(2) == 1 {
+				w = ^uint64(0)
+			}
+			pis1[i][0] = w
+			pis8[i] = lane.Broadcast[lane.W8](w)
+		}
+		out1 := narrow.Eval(pis1)
+		out8 := wide.Eval(pis8)
+		for po := range out1 {
+			got := out1[po][0] & 1
+			want := out8[po][src>>6] >> uint(src&63) & 1
+			if got != want {
+				t.Fatalf("cycle %d PO %d: narrow lane 0 = %d, wide lane %d = %d", cyc, po, got, src, want)
+			}
+		}
+		narrow.Clock()
+		wide.Clock()
+	}
+}

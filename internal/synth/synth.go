@@ -63,6 +63,13 @@ type synther struct {
 	loopVars map[string]uint64
 
 	ffBits map[string][]int // reg / registered-output name -> DFF gate IDs
+	// names lists every environment key in declaration order. Control-flow
+	// merges iterate it instead of ranging an env map: the merge emits mux
+	// gates, and emitting them in map order would leak the randomized map
+	// iteration order into gate numbering — structurally the same netlist,
+	// but with run-to-run fault-list and search orders (the seq top-off
+	// flake). Determinism here is a contract, not a nicety.
+	names []string
 
 	// read is the fixed read environment of the current phase; write is
 	// threaded through control flow. In the comb phase they are the same
@@ -89,7 +96,7 @@ func (s *synther) run() error {
 		for i := range bits {
 			bits[i] = nl.AddInput(bitName(p.Name, i, p.Width))
 		}
-		comb[p.Name] = bits
+		s.define(comb, p.Name, bits)
 	}
 	for _, r := range s.c.Regs {
 		bits := make([]int, r.Width)
@@ -97,7 +104,7 @@ func (s *synther) run() error {
 			bits[i] = nl.AddDFF(bitName(r.Name, i, r.Width), r.Init.Bit(i))
 		}
 		s.ffBits[r.Name] = bits
-		comb[r.Name] = bits
+		s.define(comb, r.Name, bits)
 	}
 	for _, p := range s.c.Ports {
 		if p.Dir == hdl.Output && registered[p.Name] {
@@ -106,18 +113,18 @@ func (s *synther) run() error {
 				bits[i] = nl.AddDFF(bitName(p.Name, i, p.Width)+"_ff", 0)
 			}
 			s.ffBits[p.Name] = bits
-			comb[p.Name] = bits
+			s.define(comb, p.Name, bits)
 		}
 	}
 	for _, k := range s.c.Consts {
-		comb[k.Name] = s.constBits(k.Value)
+		s.define(comb, k.Name, s.constBits(k.Value))
 	}
 	for _, w := range s.c.Wires {
 		bits := make([]int, w.Width)
 		for i := range bits {
 			bits[i] = s.c0
 		}
-		comb[w.Name] = bits
+		s.define(comb, w.Name, bits)
 	}
 	// Combinational outputs default to zero until assigned (definite
 	// assignment guarantees they are).
@@ -127,7 +134,7 @@ func (s *synther) run() error {
 			for i := range bits {
 				bits[i] = s.c0
 			}
-			comb[p.Name] = bits
+			s.define(comb, p.Name, bits)
 		}
 	}
 
@@ -143,10 +150,14 @@ func (s *synther) run() error {
 	}
 
 	// Phase 2: seq blocks. Reads see the comb-phase environment; writes
-	// build next-state logic starting from hold (current state).
+	// build next-state logic starting from hold (current state). The seq
+	// write env holds only the flip-flop names, seeded in declaration
+	// order (the merge loops skip names absent from the env).
 	next := make(env)
-	for name, bits := range s.ffBits {
-		next[name] = append([]int(nil), bits...)
+	for _, name := range s.names {
+		if bits, ok := s.ffBits[name]; ok {
+			next[name] = append([]int(nil), bits...)
+		}
 	}
 	s.read = comb
 	s.write = next
@@ -157,8 +168,8 @@ func (s *synther) run() error {
 			}
 		}
 	}
-	for name, ffs := range s.ffBits {
-		for i, ff := range ffs {
+	for _, name := range s.names {
+		for i, ff := range s.ffBits[name] {
 			nl.SetDFFInput(ff, next[name][i])
 		}
 	}
@@ -174,6 +185,13 @@ func (s *synther) run() error {
 		}
 	}
 	return nil
+}
+
+// define binds a fresh environment name, recording it in declaration
+// order for the control-flow merges.
+func (s *synther) define(e env, name string, bits []int) {
+	e[name] = bits
+	s.names = append(s.names, name)
 }
 
 func bitName(name string, i, width int) string {
@@ -239,7 +257,11 @@ func (s *synther) branch(cond int, then, els []hdl.Stmt) error {
 		return err
 	}
 	s.write = base
-	for name, tb := range thenEnv {
+	for _, name := range s.names {
+		tb, ok := thenEnv[name]
+		if !ok {
+			continue
+		}
 		eb := elseEnv[name]
 		merged := make([]int, len(tb))
 		for i := range tb {
@@ -277,7 +299,11 @@ func (s *synther) caseChain(subj []int, arms []*hdl.CaseArm, def []hdl.Stmt) err
 		return err
 	}
 	s.write = base
-	for name, tb := range thenEnv {
+	for _, name := range s.names {
+		tb, ok := thenEnv[name]
+		if !ok {
+			continue
+		}
 		eb := elseEnv[name]
 		merged := make([]int, len(tb))
 		for i := range tb {

@@ -2,9 +2,11 @@ package synth
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"repro/internal/bitvec"
+	"repro/internal/circuits"
 	"repro/internal/hdl"
 	"repro/internal/netlist"
 	"repro/internal/sim"
@@ -341,5 +343,34 @@ circuit share {
 	// 4 shared ANDs + 8 XORs = 12; without sharing it would be 16.
 	if g := nl.CombGateCount(); g > 12 {
 		t.Errorf("gate count %d suggests no structural sharing", g)
+	}
+}
+
+// TestSynthesizeDeterministic pins gate numbering run-to-run: repeated
+// synthesis of the same circuit must produce deeply equal netlists in
+// one process. Environments are maps, so any loop that emits gates while
+// ranging one — the control-flow merges were the offender — leaks Go's
+// per-process map iteration order into gate IDs: structurally identical
+// netlists whose fault-list and ATPG search orders differ between runs
+// (the seq top-off flake). Structural cross-checks cannot see that;
+// only an in-process replay like this one can.
+func TestSynthesizeDeterministic(t *testing.T) {
+	for _, name := range []string{"b01", "b03", "b06", "c432"} {
+		t.Run(name, func(t *testing.T) {
+			c := circuits.MustLoad(name)
+			ref, err := Synthesize(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for r := 0; r < 4; r++ {
+				nl, err := Synthesize(c)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(nl, ref) {
+					t.Fatalf("replay %d: synthesized netlist differs (gate numbering is order-dependent)", r)
+				}
+			}
+		})
 	}
 }

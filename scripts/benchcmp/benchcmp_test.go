@@ -4,6 +4,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -154,7 +155,7 @@ func TestRunEndToEnd(t *testing.T) {
 	if err := os.WriteFile(curPath, []byte(curJSON), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	regressions, err := run(basePath, curPath, 0.10)
+	regressions, err := run(basePath, curPath, 0.10, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,15 +163,35 @@ func TestRunEndToEnd(t *testing.T) {
 		t.Errorf("regressions = %d, want 1", regressions)
 	}
 	// A generous threshold reports a clean trajectory.
-	regressions, err = run(basePath, curPath, 0.5)
+	regressions, err = run(basePath, curPath, 0.5, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if regressions != 0 {
 		t.Errorf("regressions at 50%% threshold = %d, want 0", regressions)
 	}
-	if _, err := run(filepath.Join(dir, "absent.json"), curPath, 0.1); err == nil {
+	// -only restricted to BenchmarkB drops BenchmarkA's regression from
+	// the comparison entirely.
+	regressions, err = run(basePath, curPath, 0.10, regexp.MustCompile(`^BenchmarkB$`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressions != 0 {
+		t.Errorf("regressions under -only BenchmarkB = %d, want 0", regressions)
+	}
+	if _, err := run(filepath.Join(dir, "absent.json"), curPath, 0.1, nil); err == nil {
 		t.Error("missing baseline accepted")
+	}
+}
+
+func TestFilterBenches(t *testing.T) {
+	base, _ := parseBoth(t)
+	got := filterBenches(base, regexp.MustCompile(`^Benchmark[AB]$`))
+	if len(got) != 2 {
+		t.Fatalf("filtered to %d entries, want 2: %v", len(got), got)
+	}
+	if same := filterBenches(base, nil); len(same) != len(base) {
+		t.Errorf("nil filter dropped entries: %d vs %d", len(same), len(base))
 	}
 }
 

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	go run ./scripts/benchcmp [-threshold 0.10] baseline.json current.json
+//	go run ./scripts/benchcmp [-threshold 0.10] [-only RE] baseline.json current.json
 //
 // A benchmark regresses when its ns/op, B/op or allocs/op grows by more
 // than the threshold, or any of its throughput metrics (the "…/s" extras
@@ -163,7 +163,22 @@ func missing(base, cur map[string]entry) (gone, added []string) {
 	return gone, added
 }
 
-func run(baselinePath, currentPath string, threshold float64) (regressions int, err error) {
+// filterBenches drops every benchmark whose (normalized) name does not
+// match only. A nil regexp keeps everything.
+func filterBenches(m map[string]entry, only *regexp.Regexp) map[string]entry {
+	if only == nil {
+		return m
+	}
+	out := make(map[string]entry, len(m))
+	for name, e := range m {
+		if only.MatchString(name) {
+			out[name] = e
+		}
+	}
+	return out
+}
+
+func run(baselinePath, currentPath string, threshold float64, only *regexp.Regexp) (regressions int, err error) {
 	baseData, err := os.ReadFile(baselinePath)
 	if err != nil {
 		return 0, err
@@ -180,6 +195,8 @@ func run(baselinePath, currentPath string, threshold float64) (regressions int, 
 	if err != nil {
 		return 0, fmt.Errorf("%s: %w", currentPath, err)
 	}
+	base = filterBenches(base, only)
+	cur = filterBenches(cur, only)
 	deltas := compare(base, cur, threshold)
 	for _, d := range deltas {
 		fmt.Println(d)
@@ -212,12 +229,21 @@ func intersect(base, cur map[string]entry) []string {
 func main() {
 	threshold := flag.Float64("threshold", 0.10, "relative change that counts as a regression")
 	strict := flag.Bool("strict", false, "exit nonzero when any metric regressed beyond the threshold")
+	onlyPat := flag.String("only", "", "compare only benchmarks whose name matches this regexp")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchcmp [-threshold F] [-strict] baseline.json current.json")
+		fmt.Fprintln(os.Stderr, "usage: benchcmp [-threshold F] [-strict] [-only RE] baseline.json current.json")
 		os.Exit(2)
 	}
-	regressions, err := run(flag.Arg(0), flag.Arg(1), *threshold)
+	var only *regexp.Regexp
+	if *onlyPat != "" {
+		var err error
+		if only, err = regexp.Compile(*onlyPat); err != nil {
+			fmt.Fprintf(os.Stderr, "benchcmp: -only: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	regressions, err := run(flag.Arg(0), flag.Arg(1), *threshold, only)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
 		os.Exit(2)

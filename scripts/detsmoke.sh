@@ -1,0 +1,39 @@
+#!/bin/sh
+# Determinism smoke: run the seq top-off flow repeatedly and byte-compare
+# the reports. This is the CLI-level guard for the class of bug behind
+# the PR-8 flake — per-process randomization (Go map iteration order)
+# leaking into gate numbering and from there into search order. Every
+# run is a fresh process, so a fresh map seed; one-shot parity checks
+# and same-process replays cannot see what this loop sees.
+#
+# Usage: scripts/detsmoke.sh [runs] [circuit]
+#
+# Exits nonzero on the first run whose report differs from run 1's.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+runs="${1:-8}"
+circuit="${2:-b01}"
+
+bin="$(mktemp -d)/mutsample"
+trap 'rm -rf "$(dirname "$bin")"' EXIT
+go build -o "$bin" ./cmd/mutsample
+
+for workers in 0 1; do
+    ref="$(dirname "$bin")/ref_w${workers}.txt"
+    i=1
+    while [ "$i" -le "$runs" ]; do
+        out="$(dirname "$bin")/run.txt"
+        "$bin" seqtopoff -repeats 1 -equiv 128 -horizon 256 -workers "$workers" "$circuit" > "$out"
+        if [ "$i" -eq 1 ]; then
+            mv "$out" "$ref"
+        elif ! cmp -s "$ref" "$out"; then
+            echo "detsmoke: $circuit workers=$workers run $i differs from run 1:" >&2
+            diff "$ref" "$out" >&2 || true
+            exit 1
+        fi
+        i=$((i + 1))
+    done
+    echo "detsmoke: $circuit workers=$workers bit-stable over $runs runs" >&2
+done
