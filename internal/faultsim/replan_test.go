@@ -21,7 +21,7 @@ func replanNetlist(t *testing.T) *netlist.Netlist {
 }
 
 // makeWindows splits a random test sequence into fixed-size Append
-// windows, so the serial post-window step (where re-planning hooks in)
+// windows, so the serial window-start step (where re-planning hooks in)
 // runs many times per campaign.
 func makeWindows(nl *netlist.Netlist, total, per int, seed int64) [][]Pattern {
 	pats := randPatterns(len(nl.PIs), total, seed)

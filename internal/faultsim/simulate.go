@@ -484,6 +484,13 @@ func (s *Simulator) appendWindow(tests []Pattern, fromReset bool) (*Result, erro
 			if s.cfg.reference() {
 				err = s.appendSequentialRef(tests, fromReset)
 			} else {
+				// Re-plan at window START, not after the previous one: a
+				// compaction only pays off if more cycles actually arrive,
+				// so the last window of a session (every window of a
+				// one-shot Run) never pays the transplant for nothing.
+				if !s.cfg.StaticPlan {
+					s.maybeReplan()
+				}
 				err = s.appendSequential(tests, fromReset)
 			}
 		} else {
@@ -537,8 +544,8 @@ func (s *Simulator) Retire(fi int) error {
 // prune drops detected faults from the frontier and retired batches from
 // the schedule, returning each retired batch's machine and shell to the
 // session free lists (prune runs serially after the parallel section, so
-// it is the safe place to touch the lists). It then gives the re-planner
-// a chance to compact the surviving lanes onto a cheaper plan.
+// it is the safe place to touch the lists). Compaction of the survivors
+// onto a cheaper plan waits for the next window's start (maybeReplan).
 func (s *Simulator) prune() {
 	liveOut := s.live[:0]
 	for _, fi := range s.live {
@@ -563,9 +570,6 @@ func (s *Simulator) prune() {
 		}
 		s.batches = batchOut
 	}
-	if !s.cfg.StaticPlan {
-		s.maybeReplan()
-	}
 }
 
 // maybeReplan compacts the surviving lanes onto a fresh batch plan when
@@ -581,7 +585,8 @@ func (s *Simulator) prune() {
 // independent, the stimulus is broadcast to all of them, and detection
 // indices derive from each fault's own lane. Machines and batch shells
 // cycle through the session free lists, so a warm re-plan allocates
-// nothing. Serial session code only (prune).
+// nothing. Serial session code only, invoked at the start of each
+// sequential Append window (before any fan-out).
 func (s *Simulator) maybeReplan() {
 	n := len(s.live)
 	if n == 0 || len(s.batches) == 0 {
@@ -589,6 +594,12 @@ func (s *Simulator) maybeReplan() {
 	}
 	cur := 0
 	for _, b := range s.batches {
+		if b.retired() {
+			// Fully dead since the last prune (Retire between windows
+			// releases the machine on the last lane drop): run() skips it,
+			// so it prices at zero, and extractLive has nothing to take.
+			continue
+		}
 		if !b.armed() {
 			return // plan never ran a window; nothing to compact
 		}
@@ -827,7 +838,8 @@ func tailWidth(n, maxWords int) int {
 // batches at the configured width, then ragged-tail batches at whatever
 // narrower width simulates the remainder cheapest. The returned slice is
 // session-owned scratch, overwritten by the next plan (the re-planner
-// probes candidate plans every prune, so this must not allocate warm).
+// probes a candidate plan at every sequential window start, so this
+// must not allocate warm).
 //
 //repro:session-owned
 func (s *Simulator) planSeqChunks(n int) []seqChunk {
