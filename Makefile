@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build examples vet lint fmt-check test race bench bench-smoke bench-compare determinism-smoke ci clean
+.PHONY: all build examples vet lint fmt-check test race bench bench-smoke bench-compare determinism-smoke campaign-smoke ci clean
 
 all: build
 
@@ -66,7 +66,14 @@ bench-compare:
 determinism-smoke:
 	sh scripts/detsmoke.sh $(RUNS)
 
-ci: build examples vet lint fmt-check race bench-smoke
+# Campaign service end to end: start a race-instrumented cmd/reprod,
+# submit the same job set twice via the mutsample campaign client, and
+# assert the second pass is served from the content cache with
+# byte-identical reports (scripts/campaignsmoke.sh).
+campaign-smoke:
+	sh scripts/campaignsmoke.sh
+
+ci: build examples vet lint fmt-check race bench-smoke campaign-smoke
 
 clean:
 	rm -f BENCH_*.json BENCH_*.txt BENCH_*.mem.pprof

@@ -12,6 +12,7 @@
 //	mutsample sweep   <circuit>            A1: sampling-rate sweep
 //	mutsample testability <circuit>        SCOAP report
 //	mutsample faultsim <circuit>           pseudo-random coverage curve
+//	mutsample campaign <circuit>           one campaign job, local or remote
 //
 // Experiment flags (before positional arguments):
 //
@@ -72,6 +73,8 @@ func main() {
 		err = cmdFaultSim(args)
 	case "sweep":
 		err = cmdSweep(args)
+	case "campaign":
+		err = cmdCampaign(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -99,6 +102,7 @@ commands:
   sweep   <circuit>          A1: sampling-rate sweep (5/10/20/40%)
   testability <circuit>      SCOAP controllability/observability report
   faultsim <circuit>         fault-simulate pseudo-random data, print curve
+  campaign <circuit>         run one campaign job (locally or via -server)
 
 experiment flags: -seed N  -horizon N  -equiv N  -frac F  -workers N  -lanewords N
 `)

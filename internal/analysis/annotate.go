@@ -257,6 +257,7 @@ var EnginePackages = map[string]bool{
 	"repro/internal/tpg":      true,
 	"repro/internal/atpg":     true,
 	"repro/internal/engine":   true,
+	"repro/internal/campaign": true,
 }
 
 // engineScoped reports whether the pass's package is bound to the

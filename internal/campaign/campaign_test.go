@@ -1,0 +1,492 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// mustExecute runs a spec and returns its canonical bytes.
+func mustExecute(t *testing.T, sp Spec, cfg *ExecConfig) []byte {
+	t.Helper()
+	rep, err := Execute(sp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := rep.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestJobKeyWindowInvariant pins the key design: the append window is a
+// checkpoint grain, not a semantic parameter, so it must not split the
+// cache; seeds and shard bounds are semantic, so they must.
+func TestJobKeyWindowInvariant(t *testing.T) {
+	base := Spec{Kind: FaultSim, Circuit: "b01", Seed: 7, Horizon: 64}
+	k1, err := JobKey(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	windowed := base
+	windowed.Window = 16
+	k2, err := JobKey(windowed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Error("window choice changed the job key")
+	}
+	for label, mutate := range map[string]func(*Spec){
+		"seed":    func(s *Spec) { s.Seed = 8 },
+		"horizon": func(s *Spec) { s.Horizon = 65 },
+		"shard":   func(s *Spec) { s.FaultLo, s.FaultHi = 1, 5 },
+		"circuit": func(s *Spec) { s.Circuit = "b02" },
+		"kind":    func(s *Spec) { s.Kind = ATPG; s.Horizon = 0 },
+	} {
+		sp := base
+		mutate(&sp)
+		k, err := JobKey(sp)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		if k == k1 {
+			t.Errorf("%s change did not change the job key", label)
+		}
+	}
+}
+
+// TestSpecValidation covers the prepare rejects.
+func TestSpecValidation(t *testing.T) {
+	bad := []Spec{
+		{Kind: "bogus", Circuit: "b01", Horizon: 8},
+		{Kind: FaultSim, Horizon: 8},                                    // no circuit
+		{Kind: FaultSim, Circuit: "b01", Bench: "INPUT(a)", Horizon: 8}, // both
+		{Kind: FaultSim, Circuit: "b01"},                                // no horizon
+		{Kind: FaultSim, Circuit: "nosuch", Horizon: 8},                 // unknown circuit
+		{Kind: MutationTG, Bench: "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n"},  // tg needs hdl
+		{Kind: FaultSim, Circuit: "b01", Horizon: 8, FaultLo: 5, FaultHi: 2},
+		{Kind: ATPG, Circuit: "c17", Operator: "CR"},
+		{Kind: MutationTG, Circuit: "b01", Operator: "nosuchop"},
+	}
+	for i, sp := range bad {
+		if _, err := JobKey(sp); err == nil {
+			t.Errorf("spec %d accepted: %+v", i, sp)
+		}
+	}
+}
+
+// TestExecuteEngineAndWindowInvariance pins the core cache-soundness
+// property directly at the executor: the canonical report bytes of a
+// job are identical across engine configurations and window choices.
+func TestExecuteEngineAndWindowInvariance(t *testing.T) {
+	specs := []Spec{
+		{Kind: FaultSim, Circuit: "b01", Seed: 3, Horizon: 96},
+		{Kind: FaultSim, Circuit: "c17", Seed: 3, Horizon: 32},
+		{Kind: ATPG, Circuit: "c17", Seed: 1},
+		{Kind: MutationTG, Circuit: "b02", Seed: 5, MaxLen: 64},
+	}
+	configs := []engine.Options{
+		{Workers: 1, LaneWords: 1},
+		{Workers: 2, LaneWords: 4},
+		{Workers: 0, LaneWords: 0},
+	}
+	for _, sp := range specs {
+		var want []byte
+		for ci, opts := range configs {
+			for _, win := range []int{0, 17} {
+				if sp.Kind != FaultSim && win != 0 {
+					continue
+				}
+				run := sp
+				run.Window = win
+				got := mustExecute(t, run, &ExecConfig{Options: opts})
+				if want == nil {
+					want = got
+					continue
+				}
+				if !bytes.Equal(got, want) {
+					t.Errorf("%s/%s cfg=%d win=%d: report differs\n got: %s\nwant: %s",
+						sp.Kind, sp.Circuit, ci, win, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestFaultSimShardMergeExact: a FaultSim job split into arbitrary fault
+// ranges merges to the byte-identical whole-job report.
+func TestFaultSimShardMergeExact(t *testing.T) {
+	sp := Spec{Kind: FaultSim, Circuit: "b03", Seed: 9, Horizon: 80}
+	want := mustExecute(t, sp, nil)
+	for _, n := range []int{2, 3, 5} {
+		shards, err := Shards(sp, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(shards) != n {
+			t.Fatalf("Shards(%d) returned %d shards", n, len(shards))
+		}
+		reports := make([]*Report, len(shards))
+		for i, shard := range shards {
+			if reports[i], err = Execute(shard, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		key, err := JobKey(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		merged, err := MergeShards(sp, key, reports)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := merged.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("n=%d: merged report differs from whole-job report\n got: %s\nwant: %s", n, got, want)
+		}
+	}
+}
+
+// TestCanonicalDecompositions: TG decomposes per operator and ATPG per
+// fixed-width chunk regardless of the requested width — their results
+// are defined as the merged decomposition, so the decomposition must be
+// a function of the spec alone.
+func TestCanonicalDecompositions(t *testing.T) {
+	tg := Spec{Kind: MutationTG, Circuit: "b02", Seed: 1}
+	s3, err := Shards(tg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s7, err := Shards(tg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(s3) != fmt.Sprint(s7) {
+		t.Error("TG decomposition depends on the requested width")
+	}
+	for _, sh := range s3 {
+		if sh.Operator == "" {
+			t.Error("TG shard without an operator restriction")
+		}
+	}
+	at := Spec{Kind: ATPG, Circuit: "c432", Seed: 1}
+	a2, err := Shards(at, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a9, err := Shards(at, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(a2) != fmt.Sprint(a9) {
+		t.Error("ATPG decomposition depends on the requested width")
+	}
+	if len(a2) < 2 {
+		t.Fatalf("c432 ATPG did not decompose (got %d shards)", len(a2))
+	}
+	for i, sh := range a2 {
+		if sh.FaultHi-sh.FaultLo > atpgChunk {
+			t.Errorf("shard %d wider than the canonical chunk: [%d,%d)", i, sh.FaultLo, sh.FaultHi)
+		}
+	}
+}
+
+// TestExecuteCheckpointResume kills a windowed FaultSim job mid-campaign
+// (context cancelled from the progress hook) and resumes it from the
+// checkpoint store: the final report must be byte-identical to an
+// uninterrupted run, and the store must be emptied on completion.
+func TestExecuteCheckpointResume(t *testing.T) {
+	sp := Spec{Kind: FaultSim, Circuit: "b03", Seed: 4, Horizon: 120, Window: 20}
+	want := mustExecute(t, sp, nil)
+	key, err := JobKey(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, killAfter := range []int{1, 2, 5} {
+		st, err := NewCheckpointStore(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		windows := 0
+		cfg := &ExecConfig{
+			Options: engine.Options{
+				Ctx: ctx,
+				Progress: func(engine.Stats) {
+					if windows++; windows >= killAfter {
+						cancel()
+					}
+				},
+			},
+			Checkpoints: st,
+		}
+		if _, err := Execute(sp, cfg); err == nil {
+			t.Fatalf("killAfter=%d: interrupted run reported no error", killAfter)
+		}
+		cancel()
+		ck, err := st.Load(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ck == nil {
+			t.Fatalf("killAfter=%d: no checkpoint saved", killAfter)
+		}
+		if ck.Applied != killAfter*20 {
+			t.Fatalf("killAfter=%d: checkpoint at %d cycles, want %d", killAfter, ck.Applied, killAfter*20)
+		}
+
+		// Resume with a fresh store instance over the same directory — the
+		// killed-process shape.
+		st2, err := NewCheckpointStore(st.dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := mustExecute(t, sp, &ExecConfig{Checkpoints: st2})
+		if !bytes.Equal(got, want) {
+			t.Errorf("killAfter=%d: resumed report differs\n got: %s\nwant: %s", killAfter, got, want)
+		}
+		if ck, _ := st2.Load(key); ck != nil {
+			t.Errorf("killAfter=%d: checkpoint not dropped after completion", killAfter)
+		}
+	}
+}
+
+// TestCacheLRUAndDisk covers the result cache: LRU eviction, disk
+// persistence across instances, and the counters.
+func TestCacheLRUAndDisk(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(2, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("a", []byte("ra"))
+	c.Put("b", []byte("rb"))
+	if got := c.Get("a"); !bytes.Equal(got, []byte("ra")) {
+		t.Fatalf("Get(a) = %q", got)
+	}
+	c.Put("c", []byte("rc")) // evicts b (a was just touched)
+	st := c.Stats()
+	if st.Entries != 2 {
+		t.Fatalf("entries = %d, want 2", st.Entries)
+	}
+	if got := c.Get("b"); !bytes.Equal(got, []byte("rb")) {
+		t.Fatalf("evicted entry not reloaded from disk: %q", got)
+	}
+	st = c.Stats()
+	if st.DiskHits != 1 {
+		t.Errorf("disk hits = %d, want 1", st.DiskHits)
+	}
+
+	// A fresh instance over the same directory serves the old results.
+	c2, err := NewCache(2, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c2.Get("a"); !bytes.Equal(got, []byte("ra")) {
+		t.Fatalf("fresh instance Get(a) = %q", got)
+	}
+
+	// Memory-only cache misses cleanly.
+	m, err := NewCache(0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Get("a"); got != nil {
+		t.Fatalf("memory cache invented %q", got)
+	}
+	if st := m.Stats(); st.Misses != 1 || st.Hits != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestReportEncodeRoundTrip: canonical encoding is stable and decodes
+// back to an equal report.
+func TestReportEncodeRoundTrip(t *testing.T) {
+	rep := &Report{Kind: FaultSim, Key: "k", Fingerprint: "fp", Seed: 3,
+		Faults: 2, Detected: 1, Patterns: 8, FirstDetected: []int{4, -1}}
+	b1, err := rep.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := rep.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("Encode not stable")
+	}
+	back, err := DecodeReport(b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b3, err := back.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b3) {
+		t.Fatal("decode/encode round trip changed the bytes")
+	}
+	if _, err := DecodeReport([]byte(`{"bogus":1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+// TestServerEndToEnd drives the full service over HTTP: submit a job
+// set, then submit it again — the second pass must be served from cache
+// (hit counters, Cached flag) with byte-identical reports. A sharded
+// job (c432 ATPG decomposes into canonical chunks) must also match a
+// plain in-process Execute of the same spec.
+func TestServerEndToEnd(t *testing.T) {
+	srv, err := NewServer(ServerConfig{Parallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+	c := &Client{Base: hs.URL}
+	ctx := context.Background()
+
+	specs := []Spec{
+		{Kind: FaultSim, Circuit: "b01", Seed: 3, Horizon: 96, Window: 32},
+		{Kind: ATPG, Circuit: "c432", Seed: 1},
+		{Kind: MutationTG, Circuit: "b02", Seed: 5, MaxLen: 64},
+	}
+	first := make([][]byte, len(specs))
+	for i, sp := range specs {
+		st, err := c.Submit(ctx, sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st, err = c.Wait(ctx, st.ID, 0); err != nil {
+			t.Fatal(err)
+		}
+		if st.State != "done" {
+			t.Fatalf("spec %d: job %s: %s", i, st.State, st.Error)
+		}
+		if st.Cached {
+			t.Errorf("spec %d: first run claims cached", i)
+		}
+		if first[i], err = c.Result(ctx, st.ID); err != nil {
+			t.Fatal(err)
+		}
+		// The served bytes equal a plain in-process Execute: one semantics,
+		// whoever computes it.
+		if local := mustExecute(t, sp, nil); !bytes.Equal(first[i], local) {
+			t.Errorf("spec %d: served report differs from local Execute\n got: %s\nwant: %s", i, first[i], local)
+		}
+	}
+	for i, sp := range specs {
+		st, err := c.Submit(ctx, sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !st.Cached || st.State != "done" {
+			t.Errorf("spec %d: second submit not served from cache: %+v", i, st)
+		}
+		b, err := c.Result(ctx, st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b, first[i]) {
+			t.Errorf("spec %d: cached report differs from first run", i)
+		}
+	}
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Cache.Hits < uint64(len(specs)) {
+		t.Errorf("cache hits = %d, want >= %d", stats.Cache.Hits, len(specs))
+	}
+	if stats.Jobs["done"] != 2*len(specs) {
+		t.Errorf("done jobs = %d, want %d", stats.Jobs["done"], 2*len(specs))
+	}
+}
+
+// TestServerPeerFanout runs a two-server deployment: the front server
+// fans shards out to a peer, and the merged report is byte-identical to
+// a single-machine run. The peer must have executed at least one shard
+// (its cache misses prove it).
+func TestServerPeerFanout(t *testing.T) {
+	peerSrv, err := NewServer(ServerConfig{Parallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peerSrv.Close()
+	peerHTTP := httptest.NewServer(peerSrv)
+	defer peerHTTP.Close()
+
+	front, err := NewServer(ServerConfig{Parallel: 2, Peers: []string{peerHTTP.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer front.Close()
+	frontHTTP := httptest.NewServer(front)
+	defer frontHTTP.Close()
+
+	c := &Client{Base: frontHTTP.URL}
+	ctx := context.Background()
+	sp := Spec{Kind: ATPG, Circuit: "c432", Seed: 2}
+	st, err := c.Submit(ctx, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err = c.Wait(ctx, st.ID, 0); err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "done" {
+		t.Fatalf("job %s: %s", st.State, st.Error)
+	}
+	got, err := c.Result(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := mustExecute(t, sp, nil); !bytes.Equal(got, want) {
+		t.Errorf("fanned-out report differs from single-machine run\n got: %s\nwant: %s", got, want)
+	}
+	if st := peerSrv.cache.Stats(); st.Misses == 0 {
+		t.Error("peer executed nothing")
+	}
+}
+
+// TestExecuteEndpoint exercises the synchronous endpoint and its cache
+// header.
+func TestExecuteEndpoint(t *testing.T) {
+	srv, err := NewServer(ServerConfig{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+	c := &Client{Base: hs.URL}
+	ctx := context.Background()
+	sp := Spec{Kind: FaultSim, Circuit: "c17", Seed: 1, Horizon: 16}
+	b1, cached, err := c.Execute(ctx, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Error("first execute claims cached")
+	}
+	b2, cached, err := c.Execute(ctx, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached {
+		t.Error("second execute not served from cache")
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Error("cached bytes differ")
+	}
+}

@@ -1,0 +1,450 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"repro/internal/engine"
+)
+
+// ServerConfig configures a campaign server.
+type ServerConfig struct {
+	// Exec carries the execution knobs (engine Workers/LaneWords) and the
+	// optional checkpoint store local jobs run under. The Ctx and
+	// Progress fields are ignored: each job gets its own cancellation
+	// context and progress aggregation.
+	Exec ExecConfig
+	// Cache is the content-addressed result store (a memory-only default
+	// is created when nil).
+	Cache *Cache
+	// Parallel bounds concurrently executing local shards (default 2).
+	Parallel int
+	// ShardsPerJob is the decomposition width offered to Shards for each
+	// submitted job (default: Parallel plus one per peer; 1 disables
+	// sharding).
+	ShardsPerJob int
+	// Peers lists base URLs of remote campaign servers (e.g.
+	// "http://host:9190") that shard execution fans out to, round-robin
+	// with the local pool.
+	Peers []string
+}
+
+// jobState is the lifecycle of a submitted job.
+type jobState string
+
+const (
+	statePending   jobState = "pending"
+	stateRunning   jobState = "running"
+	stateDone      jobState = "done"
+	stateFailed    jobState = "failed"
+	stateCancelled jobState = "cancelled"
+)
+
+// JobStatus is the wire form of a job's observable state.
+type JobStatus struct {
+	ID    string `json:"id"`
+	Key   Key    `json:"key"`
+	State string `json:"state"`
+	// Cached reports that the result was served from the content cache
+	// without executing.
+	Cached bool   `json:"cached"`
+	Error  string `json:"error,omitempty"`
+	// Done/Total aggregate per-shard progress (windows for FaultSim jobs,
+	// targets for MutationTG/ATPG ones).
+	Done  int `json:"done"`
+	Total int `json:"total"`
+}
+
+// Stats is the /v1/stats payload.
+type Stats struct {
+	Cache CacheStats     `json:"cache"`
+	Jobs  map[string]int `json:"jobs"`
+}
+
+type job struct {
+	id     string
+	key    Key
+	spec   Spec
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	state    jobState
+	cached   bool
+	err      error
+	progress []engine.Stats // one slot per shard
+	result   []byte         // canonical report bytes when done
+}
+
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{ID: j.id, Key: j.key, State: string(j.state), Cached: j.cached}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	for _, p := range j.progress {
+		st.Done += p.Done
+		st.Total += p.Total
+	}
+	return st
+}
+
+// Server is the campaign job service: it accepts job submissions,
+// serves repeats from the content-addressed cache, decomposes fresh
+// jobs into shards, executes them across local worker slots and remote
+// peers, and merges shard reports. It implements http.Handler.
+type Server struct {
+	cfg   ServerConfig
+	cache *Cache
+	mux   *http.ServeMux
+	slots chan struct{} // local execution slots
+
+	mu     sync.Mutex
+	nextID int
+	jobs   map[string]*job
+	wg     sync.WaitGroup
+}
+
+// NewServer builds a campaign server from the configuration.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Parallel <= 0 {
+		cfg.Parallel = 2
+	}
+	if cfg.ShardsPerJob <= 0 {
+		cfg.ShardsPerJob = cfg.Parallel + len(cfg.Peers)
+	}
+	cache := cfg.Cache
+	if cache == nil {
+		var err error
+		if cache, err = NewCache(0, ""); err != nil {
+			return nil, err
+		}
+	}
+	s := &Server{
+		cfg:   cfg,
+		cache: cache,
+		mux:   http.NewServeMux(),
+		slots: make(chan struct{}, cfg.Parallel),
+		jobs:  make(map[string]*job),
+	}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("POST /v1/execute", s.handleExecute)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return s, nil
+}
+
+// ServeHTTP dispatches to the v1 API.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close cancels every running job and waits for workers to drain.
+func (s *Server) Close() {
+	s.mu.Lock()
+	for _, j := range s.jobs {
+		j.cancel()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	http.Error(w, fmt.Sprintf(format, args...), code)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func decodeSpec(w http.ResponseWriter, r *http.Request) (Spec, bool) {
+	var sp Spec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sp); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding job spec: %v", err)
+		return sp, false
+	}
+	return sp, true
+}
+
+// handleSubmit registers a job and starts it. A cache hit completes the
+// job synchronously without executing anything.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	sp, ok := decodeSpec(w, r)
+	if !ok {
+		return
+	}
+	key, err := JobKey(sp)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &job{key: key, spec: sp, cancel: cancel, state: statePending}
+	s.mu.Lock()
+	s.nextID++
+	j.id = fmt.Sprintf("j%d", s.nextID)
+	s.jobs[j.id] = j
+	s.mu.Unlock()
+
+	if b := s.cache.Get(key); b != nil {
+		j.mu.Lock()
+		j.state, j.cached, j.result = stateDone, true, b
+		j.mu.Unlock()
+		cancel()
+		writeJSON(w, j.status())
+		return
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer cancel()
+		s.runJob(ctx, j)
+	}()
+	writeJSON(w, j.status())
+}
+
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *job {
+	s.mu.Lock()
+	j := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if j == nil {
+		httpError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+	}
+	return j
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j := s.lookup(w, r); j != nil {
+		writeJSON(w, j.status())
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	state, result, err := j.state, j.result, j.err
+	j.mu.Unlock()
+	switch state {
+	case stateDone:
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(result)
+	case stateFailed, stateCancelled:
+		httpError(w, http.StatusConflict, "job %s %s: %v", j.id, state, err)
+	default:
+		httpError(w, http.StatusConflict, "job %s still %s", j.id, state)
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	if j := s.lookup(w, r); j != nil {
+		j.cancel()
+		w.WriteHeader(http.StatusNoContent)
+	}
+}
+
+// handleExecute runs one spec synchronously and returns its canonical
+// report bytes — the endpoint peers use for shard fan-out. The
+// X-Repro-Cache trailer-free header reports hit or miss.
+func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
+	sp, ok := decodeSpec(w, r)
+	if !ok {
+		return
+	}
+	key, err := JobKey(sp)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if b := s.cache.Get(key); b != nil {
+		w.Header().Set("X-Repro-Cache", "hit")
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(b)
+		return
+	}
+	b, err := s.executeLocal(r.Context(), sp, nil)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("X-Repro-Cache", "miss")
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(b)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := Stats{Cache: s.cache.Stats(), Jobs: make(map[string]int)}
+	s.mu.Lock()
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		st.Jobs[string(j.state)]++
+		j.mu.Unlock()
+	}
+	s.mu.Unlock()
+	writeJSON(w, st)
+}
+
+// executeLocal runs one spec on a local worker slot, consulting and
+// feeding the cache, and returns the canonical report bytes.
+func (s *Server) executeLocal(ctx context.Context, sp Spec, progress func(engine.Stats)) ([]byte, error) {
+	key, err := JobKey(sp)
+	if err != nil {
+		return nil, err
+	}
+	if b := s.cache.Get(key); b != nil {
+		return b, nil
+	}
+	select {
+	case s.slots <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	defer func() { <-s.slots }()
+	cfg := s.cfg.Exec
+	cfg.Ctx = ctx
+	cfg.Progress = progress
+	rep, err := Execute(sp, &cfg)
+	if err != nil {
+		return nil, err
+	}
+	b, err := rep.Encode()
+	if err != nil {
+		return nil, err
+	}
+	if err := s.cache.Put(key, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// executeRemote runs one spec on a peer via its /v1/execute endpoint and
+// feeds the local cache with the returned bytes.
+func (s *Server) executeRemote(ctx context.Context, peer string, sp Spec, key Key) ([]byte, error) {
+	c := &Client{Base: peer}
+	b, _, err := c.execute(ctx, sp)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.cache.Put(key, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// runJob executes one submitted job: decompose into shards, fan the
+// shards across the local pool and the peers, merge, cache, complete.
+func (s *Server) runJob(ctx context.Context, j *job) {
+	b, err := s.runSharded(ctx, j)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch {
+	case err == nil:
+		j.state, j.result = stateDone, b
+	case ctx.Err() != nil:
+		j.state, j.err = stateCancelled, ctx.Err()
+	default:
+		j.state, j.err = stateFailed, err
+	}
+}
+
+func (s *Server) runSharded(ctx context.Context, j *job) ([]byte, error) {
+	j.mu.Lock()
+	j.state = stateRunning
+	j.mu.Unlock()
+
+	shards, err := Shards(j.spec, s.cfg.ShardsPerJob)
+	if err != nil {
+		return nil, err
+	}
+	if shards == nil {
+		// Indivisible job: run it whole on the local pool.
+		j.mu.Lock()
+		j.progress = make([]engine.Stats, 1)
+		j.mu.Unlock()
+		return s.executeLocal(ctx, j.spec, j.progressSink(0))
+	}
+	j.mu.Lock()
+	j.progress = make([]engine.Stats, len(shards))
+	j.mu.Unlock()
+
+	reports := make([]*Report, len(shards))
+	errs := make([]error, len(shards))
+	var wg sync.WaitGroup
+	for i, shard := range shards {
+		wg.Add(1)
+		go func(i int, shard Spec) {
+			defer wg.Done()
+			reports[i], errs[i] = s.runShard(ctx, j, i, shard)
+		}(i, shard)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	key, err := JobKey(j.spec)
+	if err != nil {
+		return nil, err
+	}
+	merged, err := MergeShards(j.spec, key, reports)
+	if err != nil {
+		return nil, err
+	}
+	b, err := merged.Encode()
+	if err != nil {
+		return nil, err
+	}
+	if err := s.cache.Put(key, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// runShard executes shard i of a job, round-robining across the local
+// pool (slot 0) and the configured peers, with a local fallback when a
+// peer is unreachable.
+func (s *Server) runShard(ctx context.Context, j *job, i int, shard Spec) (*Report, error) {
+	key, err := JobKey(shard)
+	if err != nil {
+		return nil, err
+	}
+	if target := i % (1 + len(s.cfg.Peers)); target > 0 {
+		b, err := s.executeRemote(ctx, s.cfg.Peers[target-1], shard, key)
+		if err == nil {
+			j.progressSink(i)(engine.Stats{Done: 1, Total: 1})
+			return DecodeReport(b)
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		// Peer failure is not job failure: fall through to local execution.
+	}
+	b, err := s.executeLocal(ctx, shard, j.progressSink(i))
+	if err != nil {
+		return nil, err
+	}
+	return DecodeReport(b)
+}
+
+// progressSink returns the progress hook for shard i of the job.
+func (j *job) progressSink(i int) func(engine.Stats) {
+	return func(st engine.Stats) {
+		j.mu.Lock()
+		if i < len(j.progress) {
+			j.progress[i] = st
+		}
+		j.mu.Unlock()
+	}
+}

@@ -1,0 +1,103 @@
+package netlist
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+)
+
+// Fingerprint is a canonical content hash of a netlist: the identity the
+// campaign service keys its content-addressed result cache by. It is
+// computed over the compiled slot-indexed program — the instruction
+// stream, the fanin arena, the flip-flop load plan and the constant
+// plan — plus the PI/PO/FF interface (IDs and names, in declaration
+// order), so two netlists fingerprint equal exactly when every engine in
+// this repository treats them identically. Hashing the compiled form
+// leans on the declaration-order determinism work (PR 8): synthesizing
+// the same source in two different processes yields the same gate
+// numbering, hence the same program, hence the same fingerprint — which
+// is what lets fingerprints travel between a campaign client, a server
+// and its remote workers.
+//
+// The netlist name is deliberately excluded: the fingerprint is a
+// content address, and renaming a circuit must not invalidate its cached
+// results.
+//
+//repro:deterministic
+func (n *Netlist) Fingerprint() (string, error) {
+	p, err := Compile(n)
+	if err != nil {
+		return "", err
+	}
+	return p.Fingerprint(), nil
+}
+
+// Fingerprint returns the canonical content hash of the compiled
+// program; see Netlist.Fingerprint. Programs are immutable, so the hash
+// is computed once per call over stable state.
+//
+//repro:deterministic
+func (p *Program) Fingerprint() string {
+	h := sha256.New()
+	// Format tag, versioned: bump when the hashed shape changes, so stale
+	// disk caches from an older layout can never alias a new one.
+	h.Write([]byte("repro/netlist/fingerprint/v1\n"))
+	hashInt(h, len(p.nl.Gates))
+	// Instruction stream: opcode, destination slot, direct operands and
+	// the fanin arena range per compiled gate, in levelized order.
+	hashInt(h, len(p.code))
+	for i := range p.code {
+		in := &p.code[i]
+		hashInt(h, int(in.op))
+		hashInt(h, int(in.dst))
+		hashInt(h, int(in.a))
+		hashInt(h, int(in.b))
+		hashInt(h, int(in.off))
+		hashInt(h, int(in.n))
+	}
+	hashInt(h, len(p.args))
+	for _, a := range p.args {
+		hashInt(h, int(a))
+	}
+	// Flip-flop load plan: source slot and power-on value per FF, in
+	// creation order.
+	hashInt(h, len(p.ffSrc))
+	for i := range p.ffSrc {
+		hashInt(h, int(p.ffSrc[i]))
+		hashUint64(h, p.ffInit[i])
+	}
+	hashInt(h, len(p.consts))
+	for _, c := range p.consts {
+		hashInt(h, int(c.slot))
+		hashUint64(h, c.word)
+	}
+	// Interface: PI/PO/FF slots and names in declaration order. Names are
+	// part of the identity — stimulus generators and reports address
+	// ports by name, so a renamed reset pin IS a different workload.
+	hashIDNames(h, p.nl.PIs, func(_, id int) string { return p.nl.Gates[id].Name })
+	hashIDNames(h, p.nl.POs, func(i, _ int) string { return p.nl.PONames[i] })
+	hashIDNames(h, p.nl.FFs, func(_, id int) string { return p.nl.Gates[id].Name })
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func hashInt(h hash.Hash, v int) { hashUint64(h, uint64(int64(v))) }
+
+func hashUint64(h hash.Hash, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	h.Write(b[:])
+}
+
+func hashStr(h hash.Hash, s string) {
+	hashInt(h, len(s))
+	h.Write([]byte(s))
+}
+
+func hashIDNames(h hash.Hash, ids []int, name func(i, id int) string) {
+	hashInt(h, len(ids))
+	for i, id := range ids {
+		hashInt(h, id)
+		hashStr(h, name(i, id))
+	}
+}

@@ -1,0 +1,98 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+)
+
+const fpBench = `# fingerprint fixture
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+t = AND(a, b)
+y = OR(t, a)
+`
+
+func readBench(t *testing.T, src string) *Netlist {
+	t.Helper()
+	nl, err := ReadBench(strings.NewReader(src), "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nl
+}
+
+// TestFingerprintStable pins that the fingerprint is a pure function of
+// content: recomputing it, and re-parsing the same source, yield the
+// same hash — the property that lets fingerprints travel between a
+// campaign client, a server and its workers.
+func TestFingerprintStable(t *testing.T) {
+	a := readBench(t, fpBench)
+	fp1, err := a.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp2, err := a.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp1 != fp2 {
+		t.Fatalf("fingerprint not stable across calls: %s vs %s", fp1, fp2)
+	}
+	b := readBench(t, fpBench)
+	fp3, err := b.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp1 != fp3 {
+		t.Fatalf("fingerprint not stable across parses: %s vs %s", fp1, fp3)
+	}
+	if len(fp1) != 64 {
+		t.Fatalf("fingerprint %q is not a sha256 hex digest", fp1)
+	}
+}
+
+// TestFingerprintIgnoresNetlistName pins that the fingerprint is a
+// content address: renaming the circuit must not invalidate its cached
+// results.
+func TestFingerprintIgnoresNetlistName(t *testing.T) {
+	a := readBench(t, fpBench)
+	b, err := ReadBench(strings.NewReader(fpBench), "other-name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpA, err := a.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpB, err := b.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fpA != fpB {
+		t.Fatalf("netlist name leaked into the fingerprint: %s vs %s", fpA, fpB)
+	}
+}
+
+// TestFingerprintSensitivity: structural changes — a different gate
+// function, a renamed port — must change the hash.
+func TestFingerprintSensitivity(t *testing.T) {
+	base := readBench(t, fpBench)
+	fpBase, err := base.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := []struct{ label, src string }{
+		{"gate function", strings.Replace(fpBench, "AND(a, b)", "OR(a, b)", 1)},
+		{"renamed PI", strings.NewReplacer("INPUT(b)", "INPUT(c)", "(a, b)", "(a, c)").Replace(fpBench)},
+	}
+	for _, v := range variants {
+		fp, err := readBench(t, v.src).Fingerprint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fp == fpBase {
+			t.Errorf("%s: fingerprint did not change", v.label)
+		}
+	}
+}
