@@ -97,9 +97,9 @@ func BenchmarkTable2C499(b *testing.B) { benchmarkTable2(b, "c499") }
 
 // --- E3: ATPG top-off (the paper's §1 motivation) -----------------------------
 
-func benchmarkTopoff(b *testing.B, name string) {
+func benchmarkTopoff(b *testing.B, name string, cfg core.Config) {
 	for i := 0; i < b.N; i++ {
-		flow, err := core.NewFlow(circuits.MustLoad(name), benchConfig())
+		flow, err := core.NewFlow(circuits.MustLoad(name), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -115,10 +115,21 @@ func benchmarkTopoff(b *testing.B, name string) {
 	}
 }
 
-func BenchmarkTopoffC17(b *testing.B)  { benchmarkTopoff(b, "c17") }
-func BenchmarkTopoffC432(b *testing.B) { benchmarkTopoff(b, "c432") }
-func BenchmarkTopoffC499(b *testing.B) { benchmarkTopoff(b, "c499") }
-func BenchmarkTopoffC880(b *testing.B) { benchmarkTopoff(b, "c880") }
+func BenchmarkTopoffC17(b *testing.B)  { benchmarkTopoff(b, "c17", benchConfig()) }
+func BenchmarkTopoffC432(b *testing.B) { benchmarkTopoff(b, "c432", benchConfig()) }
+func BenchmarkTopoffC499(b *testing.B) { benchmarkTopoff(b, "c499", benchConfig()) }
+func BenchmarkTopoffC880(b *testing.B) { benchmarkTopoff(b, "c880", benchConfig()) }
+
+// BenchmarkTopoffC499SinglePair is BenchmarkTopoffC499 with the ATPG
+// pack scheduler pinned to one lane pair — the CI-gated ablation twin
+// measuring what the other 62 lanes buy the ATPG-heaviest top-off flow.
+// Reports are identical either way (detection order is defined by target
+// index, not completion time).
+func BenchmarkTopoffC499SinglePair(b *testing.B) {
+	cfg := benchConfig()
+	cfg.PackPairs = 1
+	benchmarkTopoff(b, "c499", cfg)
+}
 
 // --- E4: sequential ATPG top-off (extension) ----------------------------------
 
@@ -602,6 +613,10 @@ func BenchmarkFaultSimSeqLongHorizon(b *testing.B) { benchmarkFaultSimSeqLongHor
 // whole campaign — dead lanes keep getting evaluated.
 func BenchmarkFaultSimSeqLongHorizonStatic(b *testing.B) { benchmarkFaultSimSeqLongHorizon(b, true) }
 
+// BenchmarkPODEM is combinational ATPG on c432. MaxBacktracks is capped
+// well below the 4096 default: c432's redundant faults burn the whole
+// budget before the verdict, so an uncapped run times abort churn
+// instead of search-and-drop throughput.
 func BenchmarkPODEM(b *testing.B) {
 	c := circuits.MustLoad("c432")
 	nl, err := synth.Synthesize(c)
@@ -609,7 +624,7 @@ func BenchmarkPODEM(b *testing.B) {
 		b.Fatal(err)
 	}
 	for i := 0; i < b.N; i++ {
-		rep, err := atpg.Generate(nl, nil, &atpg.Options{FillSeed: 1})
+		rep, err := atpg.Generate(nl, nil, &atpg.Options{MaxBacktracks: 256, FillSeed: 1})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -619,23 +634,27 @@ func BenchmarkPODEM(b *testing.B) {
 	}
 }
 
-// benchmarkSeqATPG is the compiled-ATPG ablation pair: full sequential
+// benchmarkSeqATPG is the compiled-ATPG ablation family: full sequential
 // ATPG on b03 (model compile + PODEM over the unrolled twin + drop-sim)
-// at a fixed engine setting. Workers 0 is the production path — compiled
+// at a fixed engine setting. Workers 1 is the legacy path — the
+// three-valued interpreter and a one-shot RunOn per generated test;
+// Workers 0 with PackPairs 1 is the single-pair compiled engine —
 // dual-rail implications and the incremental reset-per-test drop-sim
-// session; Workers 1 is the legacy path — the three-valued interpreter
-// and a one-shot RunOn per generated test. Both produce identical
-// reports (pinned in atpg and internal/difftest); the ratio is the
-// compiled port's win. MaxBacktracks is capped like the parity tests so
-// aborted targets don't dominate the measurement with search effort both
-// engines share anyway.
-func benchmarkSeqATPG(b *testing.B, workers int) {
+// session; PackPairs 0 is the packed engine, up to 32 concurrent
+// searches per machine pass under the work-stealing pair scheduler. All
+// settings produce identical reports (pinned in atpg and
+// internal/difftest); the ratios are the compiled port's and the lane
+// pack's wins. MaxBacktracks is capped like the parity tests so aborted
+// targets don't dominate the measurement with search effort every
+// engine shares anyway.
+func benchmarkSeqATPG(b *testing.B, workers, packPairs int) {
 	nl, err := synth.Synthesize(circuits.MustLoad("b03"))
 	if err != nil {
 		b.Fatal(err)
 	}
 	opts := &atpg.SeqOptions{Frames: 4, MaxBacktracks: 96, FillSeed: 3}
 	opts.Workers = workers
+	opts.PackPairs = packPairs
 	targets := 0
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -651,13 +670,18 @@ func benchmarkSeqATPG(b *testing.B, workers int) {
 	b.ReportMetric(float64(targets*b.N)/b.Elapsed().Seconds(), "targets/s")
 }
 
-// BenchmarkSeqATPGCompiled is compiled ATPG with the batched drop-sim
-// session on b03.
-func BenchmarkSeqATPGCompiled(b *testing.B) { benchmarkSeqATPG(b, 0) }
+// BenchmarkSeqATPGPacked is the packed compiled engine (full 32-pair
+// capacity) on b03 — the production path.
+func BenchmarkSeqATPGPacked(b *testing.B) { benchmarkSeqATPG(b, 0, 0) }
+
+// BenchmarkSeqATPGCompiled is the single-pair compiled engine on b03 —
+// the packed scheduler's differential reference and the CI-gated
+// ablation twin of BenchmarkSeqATPGPacked.
+func BenchmarkSeqATPGCompiled(b *testing.B) { benchmarkSeqATPG(b, 0, 1) }
 
 // BenchmarkSeqATPGLegacy is the legacy interpreter with one-shot
 // per-test drop simulation on b03, kept as the differential baseline.
-func BenchmarkSeqATPGLegacy(b *testing.B) { benchmarkSeqATPG(b, 1) }
+func BenchmarkSeqATPGLegacy(b *testing.B) { benchmarkSeqATPG(b, 1, 0) }
 
 func BenchmarkMutationScore(b *testing.B) {
 	c := circuits.MustLoad("b01")

@@ -5,77 +5,127 @@ import (
 	"repro/internal/netlist"
 )
 
-// Lane assignment of the two PODEM planes inside one compiled machine
-// pass: the fault-free good plane and the fault-injected faulty plane are
-// just two lanes of the same W=1 word, which is what lets a single
-// instruction-stream pass replace two interpreter sweeps.
+// Lane assignment of the PODEM planes inside one compiled machine pass:
+// each search occupies one lane pair — the fault-free good plane on the
+// even lane, the fault-injected faulty plane on the odd lane right above
+// it. The single-pair reference engine (PackPairs == 1) uses pair 0,
+// i.e. lanes 0/1, which is exactly the pre-pack dual-rail layout; the
+// pack scheduler fills up to packMaxPairs pairs of the same W=1 word, so
+// one instruction-stream pass evaluates up to 32 concurrent searches.
 const (
 	goodLane   = 0
 	faultyLane = 1
+	// packMaxPairs is the lane-pair capacity of one W=1 machine word:
+	// 64 lanes / 2 lanes per search.
+	packMaxPairs = 32
 )
 
-// compiledSim is the compiled concrete-value backend: the model netlist's
-// dual-rail twin (netlist.TriExpand encodes Kleene three-valued logic as
-// two-valued rails) compiled once into a flat program, and one persistent
-// two-lane machine evaluating both planes per implication. Arming a
+// twin is the compiled dual-rail backend shared by the single-pair and
+// packed engines: the model netlist's TriExpand twin (Kleene three-valued
+// logic as two-valued rails) compiled once into a flat program, evaluated
+// by one persistent W=1 machine, plus the twin PI scratch. Arming a
 // target translates each fault site into its rail pair and injects it
-// into the faulty lane only; imply is then a single Machine.Eval followed
-// by a rail decode into the engine's gv/fv arrays, which the search reads
-// exactly as it reads the interpreter's.
-type compiledSim struct {
-	e   *search
+// into the target's faulty lane only; imply is then a single Machine.Eval
+// followed by a rail decode into a cursor's gv/fv arrays, which the
+// search reads exactly as it reads the interpreter's.
+type twin struct {
+	nl  *netlist.Netlist // model netlist (the twin's source)
 	tm  *netlist.TriMap
 	m   *netlist.Machine[lane.W1]
 	pis []lane.W1 // twin PI vectors: rails interleaved in model PI order
 }
 
-func newCompiledSim(e *search) (*compiledSim, error) {
-	twin, tm, err := netlist.TriExpand(e.nl)
+func newTwin(nl *netlist.Netlist) (*twin, error) {
+	tn, tm, err := netlist.TriExpand(nl)
 	if err != nil {
 		return nil, err
 	}
-	prog, err := netlist.Compile(twin)
+	prog, err := netlist.Compile(tn)
 	if err != nil {
 		return nil, err
 	}
-	return &compiledSim{
-		e:   e,
+	return &twin{
+		nl:  nl,
 		tm:  tm,
 		m:   netlist.NewMachine[lane.W1](prog),
-		pis: make([]lane.W1, len(twin.PIs)),
+		pis: make([]lane.W1, len(tn.PIs)),
 	}, nil
 }
 
-func (s *compiledSim) arm(sites []netlist.FaultSite) {
-	s.m.ClearFaults()
-	mask := lane.Bit[lane.W1](faultyLane)
+// armPair injects a target's fault sites into pair k's faulty lane,
+// leaving every other pair's batch armed.
+//
+//repro:hotpath
+func (t *twin) armPair(k int, sites []netlist.FaultSite) {
+	mask := lane.Bit[lane.W1](2*k + faultyLane)
 	for _, st := range sites {
-		for _, ts := range s.tm.FaultSites(s.e.nl, st) {
-			s.m.InjectFault(ts, mask)
+		for _, ts := range t.tm.FaultSites(t.nl, st) {
+			t.m.InjectFault(ts, mask)
 		}
 	}
 }
 
+// clearPair retires pair k's injections (both of its lanes), leaving the
+// other pairs' batches armed — the pair-scoped half of re-arming.
+//
+//repro:hotpath
+func (t *twin) clearPair(k int) {
+	both := lane.Or(lane.Bit[lane.W1](2*k+goodLane), lane.Bit[lane.W1](2*k+faultyLane))
+	t.m.ClearFaultLanes(both)
+}
+
+// compiledSim is the single-pair compiled backend (PackPairs == 1, the
+// packed engine's differential reference): pair 0 carries the one active
+// search, so arm/imply reproduce the pre-pack dual-rail engine pass for
+// pass.
+type compiledSim struct {
+	e *search
+	t *twin
+}
+
+func (s *compiledSim) arm(sites []netlist.FaultSite) {
+	s.t.m.ClearFaults()
+	s.t.armPair(0, sites)
+}
+
 func (s *compiledSim) imply(assign []tri) {
-	const bothLanes = uint64(1<<goodLane | 1<<faultyLane)
+	s.t.gather(assign, 0)
+	s.t.m.Eval(s.t.pis)
+	s.t.decode(s.e.cur, 0)
+}
+
+// gather writes one search's PI assignment into pair k's two lanes of
+// the twin PI scratch: the hi rail carries assigned-1 positions, the lo
+// rail assigned-0, neither rail set is X. Both of the pair's lanes see
+// the same stimulus — the planes differ only through injected faults.
+//
+//repro:hotpath
+func (t *twin) gather(assign []tri, k int) {
+	pairLanes := uint64(3) << uint(2*k)
 	for i, v := range assign {
 		var hw, lw uint64
 		switch v {
 		case hi:
-			hw = bothLanes
+			hw = pairLanes
 		case lo:
-			lw = bothLanes
+			lw = pairLanes
 		}
-		s.pis[2*i] = lane.W1{hw}
-		s.pis[2*i+1] = lane.W1{lw}
+		t.pis[2*i][0] = t.pis[2*i][0]&^pairLanes | hw
+		t.pis[2*i+1][0] = t.pis[2*i+1][0]&^pairLanes | lw
 	}
-	s.m.Eval(s.pis)
-	e := s.e
-	for id := range e.nl.Gates {
-		hv := s.m.Value(s.tm.Hi[id])[0]
-		lv := s.m.Value(s.tm.Lo[id])[0]
-		e.gv[id] = railTri(hv&(1<<goodLane), lv&(1<<goodLane))
-		e.fv[id] = railTri(hv&(1<<faultyLane), lv&(1<<faultyLane))
+}
+
+// decode slices pair k's two planes out of the shared evaluation into the
+// cursor's three-valued gv/fv arrays.
+//
+//repro:hotpath
+func (t *twin) decode(c *cursor, k int) {
+	gb, fb := uint(2*k+goodLane), uint(2*k+faultyLane)
+	for id := range t.nl.Gates {
+		hv := t.m.Value(t.tm.Hi[id])[0]
+		lv := t.m.Value(t.tm.Lo[id])[0]
+		c.gv[id] = railTri(hv>>gb&1, lv>>gb&1)
+		c.fv[id] = railTri(hv>>fb&1, lv>>fb&1)
 	}
 }
 

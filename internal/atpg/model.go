@@ -23,7 +23,8 @@ type Model struct {
 	um     *netlist.UnrollMap
 	frames int // 0 for combinational models
 	eng    *search
-	comp   *compiledSim // lazily built: TriExpand + Compile of the model netlist
+	comp   *twin     // lazily built: TriExpand + Compile of the model netlist
+	packed []*cursor // pack-scheduler cursors, grown to PackPairs on first use
 }
 
 // dropSimConfig projects the ATPG engine options onto the drop-sim
@@ -34,6 +35,20 @@ type Model struct {
 func dropSimConfig(o engine.Options) faultsim.Config {
 	o.Progress = nil
 	return faultsim.Config{Options: o}
+}
+
+// resolvePackPairs validates the PackPairs knob: 0 selects the full
+// 32-pair capacity of the W=1 dual-rail machine, 1 the single-pair
+// reference engine, and 2..32 an explicit pack width. Values beyond the
+// lane capacity are rejected — a pair is two lanes of one 64-lane word.
+func resolvePackPairs(p int) (int, error) {
+	switch {
+	case p == 0:
+		return packMaxPairs, nil
+	case p >= 1 && p <= packMaxPairs:
+		return p, nil
+	}
+	return 0, fmt.Errorf("atpg: unsupported PackPairs %d (want 0 (auto) or 1..%d)", p, packMaxPairs)
 }
 
 // NewModel builds the ATPG model of a combinational netlist.
@@ -74,15 +89,24 @@ func (m *Model) Frames() int { return m.frames }
 
 // compiled returns the dual-rail compiled backend, building it on first
 // use so legacy-only runs never pay for the twin compilation.
-func (m *Model) compiled() (*compiledSim, error) {
+func (m *Model) compiled() (*twin, error) {
 	if m.comp == nil {
-		cs, err := newCompiledSim(m.eng)
+		tw, err := newTwin(m.eng.nl)
 		if err != nil {
 			return nil, err
 		}
-		m.comp = cs
+		m.comp = tw
 	}
 	return m.comp, nil
+}
+
+// packCursors returns at least pairs search cursors, allocated on first
+// use and reused across campaigns on the same model.
+func (m *Model) packCursors(pairs int) []*cursor {
+	for len(m.packed) < pairs {
+		m.packed = append(m.packed, newCursor(m.eng.nl))
+	}
+	return m.packed[:pairs]
 }
 
 // Generate runs combinational PODEM with fault dropping over the model's
@@ -99,19 +123,240 @@ func (m *Model) Generate(faults []faultsim.Fault, opts *Options) (*Report, error
 	if o.Serial() {
 		return m.generateLegacy(faults, o)
 	}
-	return m.generateCompiled(faults, o)
-}
-
-// generateCompiled is the production combinational path: PODEM planes on
-// the compiled twin, fault dropping through an incremental fault-sim
-// session that appends each generated vector and prunes its frontier, so
-// every later vector simulates only still-undetected targets. Targets the
-// search resolves without a vector retire their session lane.
-func (m *Model) generateCompiled(faults []faultsim.Fault, o Options) (*Report, error) {
-	sim, err := m.compiled()
+	pairs, err := resolvePackPairs(o.PackPairs)
 	if err != nil {
 		return nil, err
 	}
+	if pairs == 1 {
+		return m.generateCompiled(faults, o)
+	}
+	return m.generatePacked(faults, o, pairs)
+}
+
+// --- pack scheduler ----------------------------------------------------------
+
+// packResult buffers one search's outcome between its completion and the
+// moment the commit pointer reaches its target. Searches are pure
+// functions of (netlist, sites, MaxBacktracks) — they read nothing from
+// the drop-sim session — so a speculatively completed result is exactly
+// what the sequential schedule would have computed, and buffering it
+// until its index-ordered turn preserves the engines' byte-identity.
+type packResult struct {
+	done       bool
+	noSearch   bool // resolved without a search (sequential out-of-horizon targets)
+	status     podemStatus
+	backtracks int
+	cube       []tri // detected targets only: a copy of the final PI cube
+}
+
+// packSlot binds one lane pair to its in-flight search.
+type packSlot struct {
+	target int
+	cur    *cursor
+	active bool
+}
+
+// packHorizonFactor bounds speculation: the scheduler never arms a
+// target more than packHorizonFactor × pairs indices ahead of the commit
+// pointer, which caps both the buffered-result memory and the searches
+// wasted when an earlier target's committed test drops a speculated one.
+const packHorizonFactor = 4
+
+// packRun drives up to pairs concurrent PODEM searches over n targets in
+// lockstep rounds: every round broadcasts one dual-rail machine pass,
+// decodes each active pair's planes, and advances each search by one
+// decision. When a pair's search terminates its result is buffered and
+// the pair immediately re-arms the next pending target (work stealing —
+// searches backtrack at very different depths, so pairs turn over
+// independently). Commits happen strictly in target-index order through
+// the commit callback, which owns the drop-sim handoff and marks dropped
+// targets dead in alive; the scheduler then cancels any in-flight search
+// whose target died and skips dead targets at both arm and commit time —
+// exactly the targets the sequential schedule never searches. sitesOf
+// returning an empty site list resolves the target without a search.
+func (m *Model) packRun(
+	tw *twin,
+	n, pairs, maxBacktracks int,
+	o engine.Options,
+	alive []bool,
+	sitesOf func(t int) []netlist.FaultSite,
+	commit func(t int, r *packResult) error,
+) error {
+	cursors := m.packCursors(pairs)
+	slots := make([]packSlot, pairs)
+	for k := range slots {
+		slots[k].cur = cursors[k]
+	}
+	results := make([]packResult, n)
+	horizon := pairs * packHorizonFactor
+	next, commitAt, active := 0, 0, 0
+	for commitAt < n {
+		// Re-arm free pairs from the shared target queue, up to the
+		// speculation horizon.
+		for k := range slots {
+			if slots[k].active {
+				continue
+			}
+			for next < n && next < commitAt+horizon {
+				t := next
+				next++
+				if !alive[t] || results[t].done {
+					continue
+				}
+				sites := sitesOf(t)
+				if len(sites) == 0 {
+					results[t].done = true
+					results[t].noSearch = true
+					continue
+				}
+				slots[k].target = t
+				slots[k].active = true
+				slots[k].cur.arm(m.eng.nl, sites)
+				tw.armPair(k, sites)
+				active++
+				break
+			}
+		}
+		if err := o.Cancelled(); err != nil {
+			return fmt.Errorf("atpg: %w", err)
+		}
+		if active > 0 {
+			// One broadcast implication pass serves every active search.
+			for k := range slots {
+				if slots[k].active {
+					tw.gather(slots[k].cur.assign, k)
+				}
+			}
+			tw.m.Eval(tw.pis)
+			for k := range slots {
+				if !slots[k].active {
+					continue
+				}
+				tw.decode(slots[k].cur, k)
+				done, status := m.eng.step(slots[k].cur, maxBacktracks)
+				if !done {
+					continue
+				}
+				t := slots[k].target
+				r := &results[t]
+				r.done = true
+				r.status = status
+				r.backtracks = slots[k].cur.backtracks
+				if status == statusDetected {
+					r.cube = append(r.cube[:0], slots[k].cur.assign...)
+				}
+				slots[k].active = false
+				active--
+				tw.clearPair(k)
+			}
+		}
+		// Drain every committable target: detection order is defined by
+		// target index, not completion time.
+		for commitAt < n {
+			t := commitAt
+			if !alive[t] {
+				commitAt++
+				continue
+			}
+			if !results[t].done {
+				break
+			}
+			if err := commit(t, &results[t]); err != nil {
+				return err
+			}
+			commitAt++
+			// The committed test may have dropped speculated targets:
+			// cancel their searches so the pairs re-arm live work.
+			for k := range slots {
+				if slots[k].active && !alive[slots[k].target] {
+					slots[k].active = false
+					active--
+					tw.clearPair(k)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// generatePacked is the packed combinational path: up to pairs PODEM
+// searches share every dual-rail machine pass, and the commit callback
+// replays generateCompiled's per-target bookkeeping — same counters, same
+// random fill draws, same drop-sim session calls, in the same target
+// order — so the report and test set are byte-identical to the
+// single-pair engine and the legacy interpreter.
+func (m *Model) generatePacked(faults []faultsim.Fault, o Options, pairs int) (*Report, error) {
+	tw, err := m.compiled()
+	if err != nil {
+		return nil, err
+	}
+	tw.m.ClearFaults()
+	sess, err := dropSimConfig(o.Options).New(m.nl, faults)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(o.FillSeed))
+	rep := &Report{Total: len(faults)}
+	alive := make([]bool, len(faults))
+	for i := range alive {
+		alive[i] = true
+	}
+	resolved := 0
+	sitesOf := func(t int) []netlist.FaultSite {
+		return []netlist.FaultSite{faults[t].Site}
+	}
+	commit := func(t int, r *packResult) error {
+		rep.PodemCalls++
+		rep.Backtracks += r.backtracks
+		if r.status != statusDetected {
+			if r.status == statusRedundant {
+				rep.Redundant++
+			} else {
+				rep.Aborted++
+			}
+			alive[t] = false
+			resolved++
+			if err := sess.Retire(t); err != nil {
+				return err
+			}
+			o.Report(resolved, len(faults))
+			return nil
+		}
+		pat := fillCube(r.cube, rng)
+		rep.Vectors = append(rep.Vectors, pat)
+		res, err := sess.Append([]faultsim.Pattern{pat})
+		if err != nil {
+			return err
+		}
+		for fj := range faults {
+			if alive[fj] && res.FirstDetected[fj] >= 0 {
+				alive[fj] = false
+				rep.Detected++
+				resolved++
+			}
+		}
+		o.Report(resolved, len(faults))
+		return nil
+	}
+	if err := m.packRun(tw, len(faults), pairs, o.MaxBacktracks, o.Options, alive, sitesOf, commit); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// generateCompiled is the single-pair compiled combinational path
+// (PackPairs == 1, the packed engine's differential reference): PODEM
+// planes on the compiled twin, fault dropping through an incremental
+// fault-sim session that appends each generated vector and prunes its
+// frontier, so every later vector simulates only still-undetected
+// targets. Targets the search resolves without a vector retire their
+// session lane.
+func (m *Model) generateCompiled(faults []faultsim.Fault, o Options) (*Report, error) {
+	tw, err := m.compiled()
+	if err != nil {
+		return nil, err
+	}
+	sim := &compiledSim{e: m.eng, t: tw}
 	sess, err := dropSimConfig(o.Options).New(m.nl, faults)
 	if err != nil {
 		return nil, err

@@ -10,16 +10,23 @@ import (
 	"repro/internal/synth"
 )
 
+// packWidths is the pack-scheduler matrix every parity anchor runs: the
+// single-pair reference, a narrow pack that forces heavy pair turnover,
+// and the full-capacity auto setting. Detection order is defined by
+// target index, so every width must reproduce the legacy reports
+// byte for byte.
+var packWidths = []int{1, 4, 0}
+
 // TestGenerateParityBenchmarks pins the compiled combinational engine to
-// the legacy path on the paper's benchmark circuits: identical vectors
-// and effort counters. The difftest fuzz covers the random-circuit
-// space; this is the named-circuit anchor.
+// the legacy path on the paper's benchmark circuits at every pack width:
+// identical vectors and effort counters. The difftest fuzz covers the
+// random-circuit space; this is the named-circuit anchor.
 func TestGenerateParityBenchmarks(t *testing.T) {
 	for _, tc := range []struct {
 		name       string
 		backtracks int // 0 = default; capped where aborts dominate runtime
 	}{
-		{"c17", 0}, {"c432", 128},
+		{"c17", 0}, {"c432", 128}, {"c499", 48},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			nl, err := synth.Synthesize(circuits.MustLoad(tc.name))
@@ -31,12 +38,16 @@ func TestGenerateParityBenchmarks(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			compiled, err := Generate(nl, nil, &Options{MaxBacktracks: tc.backtracks, FillSeed: 7})
-			if err != nil {
-				t.Fatal(err)
-			}
-			if !reflect.DeepEqual(compiled, legacy) {
-				t.Fatalf("engines disagree:\ncompiled %+v\nlegacy   %+v", compiled, legacy)
+			for _, pairs := range packWidths {
+				compiled, err := Generate(nl, nil, &Options{MaxBacktracks: tc.backtracks, FillSeed: 7,
+					Options: engine.Options{PackPairs: pairs}})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(compiled, legacy) {
+					t.Fatalf("packpairs=%d disagrees with legacy:\ncompiled %+v\nlegacy   %+v",
+						pairs, compiled, legacy)
+				}
 			}
 		})
 	}
@@ -52,27 +63,32 @@ func TestGenerateSequentialParityBenchmarks(t *testing.T) {
 		frames     int
 		backtracks int // 0 = default; capped where aborts dominate runtime
 	}{
-		{"b01", 6, 48}, {"b02", 6, 0}, {"b03", 4, 48}, {"b06", 4, 0},
+		{"b01", 6, 48}, {"b02", 6, 0}, {"b03", 4, 48},
+		{"b04", 3, 32}, {"b06", 4, 0},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			nl, err := synth.Synthesize(circuits.MustLoad(tc.name))
 			if err != nil {
 				t.Fatal(err)
 			}
-			opts := func(workers int) *SeqOptions {
+			opts := func(workers, pairs int) *SeqOptions {
 				return &SeqOptions{Frames: tc.frames, MaxBacktracks: tc.backtracks,
-					FillSeed: 3, Options: engine.Options{Workers: workers}}
+					FillSeed: 3, Options: engine.Options{Workers: workers, PackPairs: pairs}}
 			}
-			legacy, err := GenerateSequential(nl, nil, opts(1))
+			legacy, err := GenerateSequential(nl, nil, opts(1, 0))
 			if err != nil {
 				t.Fatal(err)
 			}
-			compiled, err := GenerateSequential(nl, nil, opts(0))
-			if err != nil {
-				t.Fatal(err)
-			}
-			if !reflect.DeepEqual(compiled, legacy) {
-				t.Fatalf("engines disagree:\ncompiled %+v\nlegacy   %+v", compiled, legacy)
+			var compiled *SeqReport
+			for _, pairs := range packWidths {
+				compiled, err = GenerateSequential(nl, nil, opts(0, pairs))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(compiled, legacy) {
+					t.Fatalf("packpairs=%d disagrees with legacy:\ncompiled %+v\nlegacy   %+v",
+						pairs, compiled, legacy)
+				}
 			}
 			// The reported coverage must replay: simulate the generated
 			// test set independently.

@@ -144,29 +144,73 @@ type planeSim interface {
 	imply(assign []tri)
 }
 
-// search holds the PODEM search state over the model netlist (the
-// circuit itself, or its time-frame expansion): structural guidance
-// (levels, fanout, SCOAP controllabilities) plus the per-search value
-// planes the active planeSim fills.
+// cursor is the mutable state of one PODEM search: the two value planes
+// the active planeSim fills, the armed target's sites, and the decision
+// scratch. The serial paths run one cursor owned by the search; the pack
+// scheduler runs one cursor per lane pair, all sharing the structural
+// search core, so concurrent searches backtrack independently.
+type cursor struct {
+	gv []tri // good-plane values per gate
+	fv []tri // faulty-plane values per gate
+	// sites and siteAt describe the armed target: the current fault's
+	// sites, indexed by gate for imply/objective.
+	sites  []netlist.FaultSite
+	siteAt map[int]netlist.FaultSite
+	// assign and stack are the cursor-owned decision scratch, recycled
+	// across targets (one cube and one decision stack per cursor, not
+	// per target).
+	assign []tri
+	stack  []decision
+	// backtracks counts this search's backtracks so far (the pack
+	// scheduler carries it across lockstep rounds; serial podem resets
+	// it per call).
+	backtracks int
+}
+
+// newCursor allocates a search cursor sized for the model netlist.
+func newCursor(nl *netlist.Netlist) *cursor {
+	return &cursor{
+		gv:     make([]tri, len(nl.Gates)),
+		fv:     make([]tri, len(nl.Gates)),
+		siteAt: make(map[int]netlist.FaultSite),
+	}
+}
+
+// arm points the cursor at a new target: sites installed and indexed,
+// every PI back to X, decision stack emptied, backtrack count zeroed.
+//
+//repro:hotpath
+func (c *cursor) arm(nl *netlist.Netlist, sites []netlist.FaultSite) {
+	c.sites = sites
+	for id := range c.siteAt {
+		delete(c.siteAt, id)
+	}
+	for _, st := range sites {
+		c.siteAt[st.Gate] = st
+	}
+	assign := engine.Grow(c.assign, len(nl.PIs))
+	c.assign = assign
+	for i := range assign {
+		assign[i] = xx
+	}
+	c.stack = c.stack[:0]
+	c.backtracks = 0
+}
+
+// search holds the structural PODEM search core over the model netlist
+// (the circuit itself, or its time-frame expansion): levels, fanout and
+// SCOAP controllabilities guiding every cursor that runs on it, plus the
+// serial paths' own cursor.
 type search struct {
 	nl    *netlist.Netlist
 	order []int // combinational evaluation order
-	gv    []tri // good-plane values per gate
-	fv    []tri // faulty-plane values per gate
 	piIdx map[int]int
 	fan   [][]int // fanout gate IDs per gate (for X-path checks)
 	level []int
 	// cc holds SCOAP controllabilities guiding the backtrace.
 	cc *scoap.Measures
-	// sites and siteAt describe the armed target: the current fault's
-	// sites, indexed by gate for imply/objective.
-	sites  []netlist.FaultSite
-	siteAt map[int]netlist.FaultSite
-	// assign and stack are the search-owned decision scratch, recycled
-	// across podem calls (one cube and one decision stack per search, not
-	// per target).
-	assign []tri
-	stack  []decision
+	// cur is the serial engines' single search cursor.
+	cur *cursor
 }
 
 func newSearch(nl *netlist.Netlist) (*search, error) {
@@ -175,14 +219,12 @@ func newSearch(nl *netlist.Netlist) (*search, error) {
 		return nil, err
 	}
 	e := &search{
-		nl:     nl,
-		order:  order,
-		gv:     make([]tri, len(nl.Gates)),
-		fv:     make([]tri, len(nl.Gates)),
-		piIdx:  make(map[int]int),
-		fan:    make([][]int, len(nl.Gates)),
-		level:  make([]int, len(nl.Gates)),
-		siteAt: make(map[int]netlist.FaultSite),
+		nl:    nl,
+		order: order,
+		piIdx: make(map[int]int),
+		fan:   make([][]int, len(nl.Gates)),
+		level: make([]int, len(nl.Gates)),
+		cur:   newCursor(nl),
 	}
 	for i, id := range nl.PIs {
 		e.piIdx[id] = i
@@ -225,62 +267,59 @@ type decision struct {
 // podem call — the callers concretize it (fillCube/sliceTest) before
 // targeting the next fault.
 func (e *search) podem(sim planeSim, sites []netlist.FaultSite, maxBacktracks int) ([]tri, int, podemStatus) {
-	e.sites = sites
-	for id := range e.siteAt {
-		delete(e.siteAt, id)
-	}
-	for _, st := range sites {
-		e.siteAt[st.Gate] = st
-	}
+	c := e.cur
+	c.arm(e.nl, sites)
 	sim.arm(sites)
-
-	assign := engine.Grow(e.assign, len(e.nl.PIs))
-	e.assign = assign
-	for i := range assign {
-		assign[i] = xx
-	}
-	stack := e.stack[:0]
-	backtracks := 0
-
 	for {
-		sim.imply(assign)
-		if e.detected() {
-			e.stack = stack
-			return assign, backtracks, statusDetected
-		}
-		objGate, objVal, ok := e.objective()
-		if ok {
-			pi, v := e.backtrace(objGate, objVal)
-			if pi >= 0 {
-				stack = append(stack, decision{pi: pi, value: v})
-				assign[e.piIdx[pi]] = v
-				continue
+		sim.imply(c.assign)
+		if done, status := e.step(c, maxBacktracks); done {
+			if status == statusDetected {
+				return c.assign, c.backtracks, status
 			}
-		}
-		// Dead end: flip the most recent unflipped decision.
-		flipped := false
-		for len(stack) > 0 {
-			top := &stack[len(stack)-1]
-			if !top.flipped {
-				backtracks++
-				if backtracks > maxBacktracks {
-					e.stack = stack
-					return nil, backtracks, statusAborted
-				}
-				top.flipped = true
-				top.value ^= 1 // lo <-> hi
-				assign[e.piIdx[top.pi]] = top.value
-				flipped = true
-				break
-			}
-			assign[e.piIdx[top.pi]] = xx
-			stack = stack[:len(stack)-1]
-		}
-		if !flipped {
-			e.stack = stack
-			return nil, backtracks, statusRedundant
+			return nil, c.backtracks, status
 		}
 	}
+}
+
+// step advances one search by a single decision after an implication
+// pass: check detection, extend the assignment towards the next
+// objective, or backtrack. It returns done=true with the terminal status
+// when the search ends; otherwise the cursor's assignment changed and the
+// caller owes it another implication pass. The pack scheduler interleaves
+// many cursors by broadcasting one machine pass per round and stepping
+// each survivor; the serial podem loop above is the degenerate
+// single-cursor schedule — both run this exact decision procedure, which
+// is why packing cannot change any per-target outcome.
+func (e *search) step(c *cursor, maxBacktracks int) (bool, podemStatus) {
+	if e.detected(c) {
+		return true, statusDetected
+	}
+	objGate, objVal, ok := e.objective(c)
+	if ok {
+		pi, v := e.backtrace(c, objGate, objVal)
+		if pi >= 0 {
+			c.stack = append(c.stack, decision{pi: pi, value: v})
+			c.assign[e.piIdx[pi]] = v
+			return false, 0
+		}
+	}
+	// Dead end: flip the most recent unflipped decision.
+	for len(c.stack) > 0 {
+		top := &c.stack[len(c.stack)-1]
+		if !top.flipped {
+			c.backtracks++
+			if c.backtracks > maxBacktracks {
+				return true, statusAborted
+			}
+			top.flipped = true
+			top.value ^= 1 // lo <-> hi
+			c.assign[e.piIdx[top.pi]] = top.value
+			return false, 0
+		}
+		c.assign[e.piIdx[top.pi]] = xx
+		c.stack = c.stack[:len(c.stack)-1]
+	}
+	return true, statusRedundant
 }
 
 // interpSim is the legacy serial reference backend: a per-gate
@@ -296,39 +335,40 @@ func (s interpSim) arm([]netlist.FaultSite) {}
 // frame).
 func (s interpSim) imply(assign []tri) {
 	e := s.e
+	c := e.cur
 	nl := e.nl
 	for id := range nl.Gates {
-		e.gv[id] = xx
-		e.fv[id] = xx
+		c.gv[id] = xx
+		c.fv[id] = xx
 	}
 	for i, id := range nl.PIs {
-		e.gv[id] = assign[i]
-		e.fv[id] = assign[i]
+		c.gv[id] = assign[i]
+		c.fv[id] = assign[i]
 	}
 	for _, g := range nl.Gates {
 		switch g.Type {
 		case netlist.Const0:
-			e.gv[g.ID], e.fv[g.ID] = lo, lo
+			c.gv[g.ID], c.fv[g.ID] = lo, lo
 		case netlist.Const1:
-			e.gv[g.ID], e.fv[g.ID] = hi, hi
+			c.gv[g.ID], c.fv[g.ID] = hi, hi
 		}
 	}
 	// Output faults on PIs or constants apply before gate evaluation.
-	for _, st := range e.sites {
+	for _, st := range c.sites {
 		if st.Pin < 0 && !nl.Gates[st.Gate].Type.IsComb() {
-			e.fv[st.Gate] = tri(st.Stuck)
+			c.fv[st.Gate] = tri(st.Stuck)
 		}
 	}
 	for _, id := range e.order {
 		g := nl.Gates[id]
-		e.gv[id] = evalTri(g, e.gv, -1, xx)
+		c.gv[id] = evalTri(g, c.gv, -1, xx)
 		fpin, fval := -1, xx
-		if st, ok := e.siteAt[id]; ok && st.Pin >= 0 {
+		if st, ok := c.siteAt[id]; ok && st.Pin >= 0 {
 			fpin, fval = st.Pin, tri(st.Stuck)
 		}
-		e.fv[id] = evalTri(g, e.fv, fpin, fval)
-		if st, ok := e.siteAt[id]; ok && st.Pin < 0 {
-			e.fv[id] = tri(st.Stuck)
+		c.fv[id] = evalTri(g, c.fv, fpin, fval)
+		if st, ok := c.siteAt[id]; ok && st.Pin < 0 {
+			c.fv[id] = tri(st.Stuck)
 		}
 	}
 }
@@ -407,9 +447,9 @@ func notTri(t tri) tri {
 }
 
 // detected reports whether any PO shows a definite good/faulty difference.
-func (e *search) detected() bool {
+func (e *search) detected(c *cursor) bool {
 	for _, id := range e.nl.POs {
-		g, f := e.gv[id], e.fv[id]
+		g, f := c.gv[id], c.fv[id]
 		if g != xx && f != xx && g != f {
 			return true
 		}
@@ -422,16 +462,16 @@ func (e *search) detected() bool {
 // D-frontier. For branch faults the D lives on the faulted gate's pin
 // (the driver net itself is healthy), so the pin's effective faulty value
 // is the stuck value, not the driver's.
-func (e *search) objective() (int, tri, bool) {
+func (e *search) objective(c *cursor) (int, tri, bool) {
 	anyActivated := false
 	var pendingNet = -1
 	var pendingVal tri
-	for _, site := range e.sites {
+	for _, site := range c.sites {
 		siteNet := site.Gate
 		if site.Pin >= 0 {
 			siteNet = e.nl.Gates[site.Gate].Fanin[site.Pin]
 		}
-		switch e.gv[siteNet] {
+		switch c.gv[siteNet] {
 		case xx:
 			if pendingNet < 0 {
 				pendingNet, pendingVal = siteNet, notTri(tri(site.Stuck))
@@ -452,13 +492,13 @@ func (e *search) objective() (int, tri, bool) {
 	// input (accounting for injected pin values at fault sites).
 	for _, id := range e.order {
 		g := e.nl.Gates[id]
-		if e.gv[id] != xx && e.fv[id] != xx {
+		if c.gv[id] != xx && c.fv[id] != xx {
 			continue
 		}
 		hasD := false
 		for j, f := range g.Fanin {
-			gvf, fvf := e.gv[f], e.fv[f]
-			if st, ok := e.siteAt[id]; ok && j == st.Pin {
+			gvf, fvf := c.gv[f], c.fv[f]
+			if st, ok := c.siteAt[id]; ok && j == st.Pin {
 				fvf = tri(st.Stuck)
 			}
 			if gvf != xx && fvf != xx && gvf != fvf {
@@ -471,7 +511,7 @@ func (e *search) objective() (int, tri, bool) {
 		}
 		// Set one X input to the gate's non-controlling value.
 		for _, f := range g.Fanin {
-			if e.gv[f] == xx {
+			if c.gv[f] == xx {
 				return f, nonControlling(g.Type), true
 			}
 		}
@@ -497,7 +537,7 @@ func nonControlling(t netlist.GateType) tri {
 // backtrace maps an objective to a PI assignment by walking X-valued nets
 // backwards, flipping the goal through inverting gates. It returns -1 when
 // the objective is unreachable (no X input anywhere on the way).
-func (e *search) backtrace(gate int, val tri) (int, tri) {
+func (e *search) backtrace(c *cursor, gate int, val tri) (int, tri) {
 	id, v := gate, val
 	for {
 		g := e.nl.Gates[id]
@@ -517,7 +557,7 @@ func (e *search) backtrace(gate int, val tri) (int, tri) {
 		wantControlling := isControllingGoal(g.Type, v)
 		bestCost := -1
 		for _, f := range g.Fanin {
-			if e.gv[f] != xx {
+			if c.gv[f] != xx {
 				continue
 			}
 			cost := e.cc.CC1[f]

@@ -115,7 +115,99 @@ func (m *Model) GenerateSequential(faults []faultsim.Fault, opts *SeqOptions) (*
 	if o.Serial() {
 		return m.generateSeqLegacy(faults, o)
 	}
-	return m.generateSeqCompiled(faults, o)
+	pairs, err := resolvePackPairs(o.PackPairs)
+	if err != nil {
+		return nil, err
+	}
+	if pairs == 1 {
+		return m.generateSeqCompiled(faults, o)
+	}
+	return m.generateSeqPacked(faults, o, pairs)
+}
+
+// generateSeqPacked is the packed sequential path: up to pairs searches
+// of the unrolled twin share every machine pass, scheduled by packRun,
+// and the commit callback replays generateSeqCompiled's per-target
+// bookkeeping — counters, random fill, incremental session AppendTest /
+// Retire — in strict target-index order, so the report and test set are
+// byte-identical to the single-pair engine and the legacy interpreter.
+// Targets whose fault sites fall outside the frame horizon resolve as
+// Untestable without a search, exactly as in the single-pair path.
+func (m *Model) generateSeqPacked(faults []faultsim.Fault, o SeqOptions, pairs int) (*SeqReport, error) {
+	tw, err := m.compiled()
+	if err != nil {
+		return nil, err
+	}
+	tw.m.ClearFaults()
+	sess, err := dropSimConfig(o.Options).New(m.nl, faults)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(o.FillSeed))
+	rep := &SeqReport{Total: len(faults), Frames: m.frames}
+	alive := make([]bool, len(faults))
+	for i := range alive {
+		alive[i] = true
+	}
+	resolved := 0
+	retire := func(fi int) error {
+		alive[fi] = false
+		resolved++
+		return sess.Retire(fi)
+	}
+	sitesOf := func(t int) []netlist.FaultSite {
+		return m.um.SitesInFrames(m.nl, faults[t].Site)
+	}
+	commit := func(t int, r *packResult) error {
+		if r.noSearch {
+			rep.Untestable++
+			if err := retire(t); err != nil {
+				return err
+			}
+			o.Report(resolved, len(faults))
+			return nil
+		}
+		rep.PodemCalls++
+		rep.Backtracks += r.backtracks
+		if r.status != statusDetected {
+			if r.status == statusRedundant {
+				rep.Untestable++
+			} else {
+				rep.Aborted++
+			}
+			if err := retire(t); err != nil {
+				return err
+			}
+			o.Report(resolved, len(faults))
+			return nil
+		}
+		test := m.sliceTest(r.cube, rng)
+		rep.Tests = append(rep.Tests, test)
+		res, err := sess.AppendTest(test)
+		if err != nil {
+			return err
+		}
+		dropped := 0
+		for fj := range faults {
+			if alive[fj] && res.FirstDetected[fj] >= 0 {
+				alive[fj] = false
+				rep.Detected++
+				dropped++
+				resolved++
+			}
+		}
+		if dropped == 0 {
+			// PODEM promised detection but simulation disagrees: the random
+			// fill can only add detections, so this indicates an engine bug.
+			return fmt.Errorf("atpg: sequential test for %s did not detect its target", faults[t].Desc)
+		}
+		o.Report(resolved, len(faults))
+		return nil
+	}
+	if err := m.packRun(tw, len(faults), pairs, o.MaxBacktracks, o.Options, alive, sitesOf, commit); err != nil {
+		return nil, err
+	}
+	return rep, nil
 }
 
 // generateSeqCompiled is the production sequential path: PODEM planes on
@@ -126,10 +218,11 @@ func (m *Model) GenerateSequential(faults []faultsim.Fault, opts *SeqOptions) (*
 // retire their lanes too. The remaining-target set shrinks as the session
 // advances instead of being re-planned per test.
 func (m *Model) generateSeqCompiled(faults []faultsim.Fault, o SeqOptions) (*SeqReport, error) {
-	sim, err := m.compiled()
+	tw, err := m.compiled()
 	if err != nil {
 		return nil, err
 	}
+	sim := &compiledSim{e: m.eng, t: tw}
 	sess, err := dropSimConfig(o.Options).New(m.nl, faults)
 	if err != nil {
 		return nil, err

@@ -61,24 +61,47 @@ func NewCache(capacity int, dir string) (*Cache, error) {
 
 // Get returns the canonical report bytes cached under key, or nil. The
 // returned slice is shared — callers must not mutate it.
+//
+// The disk fallback reads outside the mutex: holding c.mu across
+// os.ReadFile would stall every concurrent Get (including pure memory
+// hits for other keys) behind one slow disk read. Dropping the lock
+// means another Get can race us to the same key; the re-check after the
+// read classifies that case as a plain memory hit, keeping the
+// hit/miss/disk counters exact — one promotion, no double insert.
 func (c *Cache) Get(key Key) []byte {
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok {
+		c.lru.MoveToFront(el)
+		c.hits++
+		b := el.Value.(*cacheEntry).bytes
+		c.mu.Unlock()
+		return b
+	}
+	if c.dir == "" {
+		c.misses++
+		c.mu.Unlock()
+		return nil
+	}
+	c.mu.Unlock()
+	b, err := os.ReadFile(c.diskPath(key))
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.byKey[key]; ok {
+		// A racing Get or Put inserted the key while we were on disk:
+		// serve memory. Content addressing makes the bytes equal, so it
+		// does not matter whose copy wins.
 		c.lru.MoveToFront(el)
 		c.hits++
 		return el.Value.(*cacheEntry).bytes
 	}
-	if c.dir != "" {
-		if b, err := os.ReadFile(c.diskPath(key)); err == nil {
-			c.insert(key, b)
-			c.hits++
-			c.disk++
-			return b
-		}
+	if err != nil {
+		c.misses++
+		return nil
 	}
-	c.misses++
-	return nil
+	c.insert(key, b)
+	c.hits++
+	c.disk++
+	return b
 }
 
 // Put stores the canonical report bytes under key. Storing a key twice

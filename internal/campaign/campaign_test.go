@@ -5,6 +5,7 @@ import (
 	"context"
 	"fmt"
 	"net/http/httptest"
+	"sync"
 	"testing"
 
 	"repro/internal/engine"
@@ -308,6 +309,61 @@ func TestCacheLRUAndDisk(t *testing.T) {
 	}
 }
 
+// TestCacheConcurrentDiskFallback races many Gets of one disk-resident
+// key: the disk fallback runs outside the cache mutex, so every racer
+// must still get the bytes, exactly one promotion may count as a disk
+// hit, and the hit/miss counters must stay exact. Also races a missing
+// key, where every racer is one clean miss.
+func TestCacheConcurrentDiskFallback(t *testing.T) {
+	dir := t.TempDir()
+	seed, err := NewCache(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Put("k", []byte("rk")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh instance: "k" exists on disk only.
+	c, err := NewCache(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const racers = 16
+	var wg sync.WaitGroup
+	errc := make(chan error, 2*racers)
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if got := c.Get("k"); !bytes.Equal(got, []byte("rk")) {
+				errc <- fmt.Errorf("Get(k) = %q", got)
+			}
+			if got := c.Get("absent"); got != nil {
+				errc <- fmt.Errorf("Get(absent) = %q", got)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	st := c.Stats()
+	if st.Hits != racers {
+		t.Errorf("hits = %d, want %d", st.Hits, racers)
+	}
+	if st.DiskHits != 1 {
+		t.Errorf("disk hits = %d, want 1 (one promotion, no double insert)", st.DiskHits)
+	}
+	if st.Misses != racers {
+		t.Errorf("misses = %d, want %d", st.Misses, racers)
+	}
+	if st.Entries != 1 {
+		t.Errorf("entries = %d, want 1", st.Entries)
+	}
+}
+
 // TestReportEncodeRoundTrip: canonical encoding is stable and decodes
 // back to an equal report.
 func TestReportEncodeRoundTrip(t *testing.T) {
@@ -358,7 +414,7 @@ func TestServerEndToEnd(t *testing.T) {
 
 	specs := []Spec{
 		{Kind: FaultSim, Circuit: "b01", Seed: 3, Horizon: 96, Window: 32},
-		{Kind: ATPG, Circuit: "c432", Seed: 1},
+		{Kind: ATPG, Circuit: "c432", Seed: 1, MaxBacktracks: 64},
 		{Kind: MutationTG, Circuit: "b02", Seed: 5, MaxLen: 64},
 	}
 	first := make([][]byte, len(specs))
@@ -436,7 +492,7 @@ func TestServerPeerFanout(t *testing.T) {
 
 	c := &Client{Base: frontHTTP.URL}
 	ctx := context.Background()
-	sp := Spec{Kind: ATPG, Circuit: "c432", Seed: 2}
+	sp := Spec{Kind: ATPG, Circuit: "c432", Seed: 2, MaxBacktracks: 64}
 	st, err := c.Submit(ctx, sp)
 	if err != nil {
 		t.Fatal(err)

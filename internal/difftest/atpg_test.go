@@ -13,13 +13,20 @@ import (
 // atpgConfigs spans the compiled ATPG engine's knob space; each entry is
 // compared against the legacy serial reference (Workers 1: three-valued
 // interpreter + one-shot drop-sim). Workers > 1 exercises the pooled
-// drop-sim schedulers, LaneWords the per-width batch machines.
+// drop-sim schedulers, LaneWords the per-width batch machines, and
+// packPairs the lane-pack scheduler: 1 is the single-pair reference
+// engine, 4 forces heavy pair turnover (every fourth target re-arms a
+// pair), 32 the full pack, 0 the auto setting. The target-index commit
+// order makes every width byte-identical — this matrix is the lock on
+// that contract.
 var atpgConfigs = []engineConfig{
-	{workers: 2, laneWords: 1},
-	{workers: 0, laneWords: 1},
-	{workers: 2, laneWords: 4},
-	{workers: 0, laneWords: 8},
-	{workers: 0, laneWords: 0}, // production auto setting
+	{workers: 2, laneWords: 1, packPairs: 1},
+	{workers: 0, laneWords: 1, packPairs: 4},
+	{workers: 2, laneWords: 4, packPairs: 32},
+	{workers: 0, laneWords: 8, packPairs: 4},
+	{workers: 2, laneWords: 4, packPairs: 1},
+	{workers: 0, laneWords: 8, packPairs: 32},
+	{workers: 0, laneWords: 0, packPairs: 0}, // production auto setting
 }
 
 // assertSameSeqReport compares two sequential ATPG reports field by field,
@@ -185,7 +192,10 @@ func TestATPGModelReuseParity(t *testing.T) {
 	}
 	all := faultsim.Faults(nl)
 	for _, workers := range []int{0, 1} {
-		opts := &atpg.SeqOptions{Frames: frames, FillSeed: 9, Options: engine.Options{Workers: workers}}
+		// MaxBacktracks capped like the other fuzz legs: the random
+		// circuit's abort-heavy targets prove nothing about model reuse.
+		opts := &atpg.SeqOptions{Frames: frames, MaxBacktracks: fuzzBacktracks, FillSeed: 9,
+			Options: engine.Options{Workers: workers}}
 		label := fmt.Sprintf("workers=%d", workers)
 		first, err := model.GenerateSequential(all, opts)
 		if err != nil {

@@ -32,6 +32,7 @@ import (
 type engineConfig struct {
 	workers   int
 	laneWords int
+	packPairs int // ATPG pack width (only the test generator reads it)
 }
 
 var engineConfigs = []engineConfig{
@@ -48,11 +49,11 @@ var engineConfigs = []engineConfig{
 
 // options projects the table entry onto the shared engine surface.
 func (e engineConfig) options() engine.Options {
-	return engine.Options{Workers: e.workers, LaneWords: e.laneWords}
+	return engine.Options{Workers: e.workers, LaneWords: e.laneWords, PackPairs: e.packPairs}
 }
 
 func (e engineConfig) String() string {
-	return fmt.Sprintf("workers=%d/lanewords=%d", e.workers, e.laneWords)
+	return fmt.Sprintf("workers=%d/lanewords=%d/packpairs=%d", e.workers, e.laneWords, e.packPairs)
 }
 
 // fuzzCircuit generates one deterministic random circuit. Sequential and

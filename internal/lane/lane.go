@@ -118,3 +118,13 @@ func Or[W Word](a, b W) W {
 	}
 	return a
 }
+
+// AndNot clears b's lanes out of a: a &^ b. The pair-scoped fault
+// clearing in netlist uses it to retire one lane pair's injections
+// without touching the batches armed in the other lanes.
+func AndNot[W Word](a, b W) W {
+	for k := 0; k < len(a); k++ {
+		a[k] &^= b[k]
+	}
+	return a
+}

@@ -203,6 +203,7 @@ type injRec[W lane.Word] struct {
 	outMask W      // lanes with a stem fault on this gate's output
 	outVal  W      // the stuck word, restricted to outMask
 	dirty   uint16 // bit k: word k carries a fault at this gate
+	code    int32  // owning instruction index (for lane-scoped compaction)
 }
 
 type pinInj[W lane.Word] struct {
@@ -368,6 +369,71 @@ func (r *injRec[W]) markDirty(laneMask W) {
 	}
 }
 
+// ClearFaultLanes removes the injected faults confined to the lanes in
+// laneMask, leaving every other lane's batch armed: records whose masks
+// empty out are compacted away, partially-covered records shrink to their
+// surviving lanes, and per-record dirty words are recomputed. Cost is
+// proportional to the batch size, like ClearFaults. The packed ATPG
+// scheduler uses it to retire one search's lane pair and re-arm the next
+// target without disturbing the concurrent searches' injections.
+func (m *Machine[W]) ClearFaultLanes(laneMask W) {
+	kept := m.touched[:0]
+	for _, ci := range m.touched {
+		r := &m.recs[m.inj[ci]]
+		r.outMask = lane.AndNot(r.outMask, laneMask)
+		r.outVal = lane.AndNot(r.outVal, laneMask)
+		pins := r.pins[:0]
+		for _, p := range r.pins {
+			p.mask = lane.AndNot(p.mask, laneMask)
+			p.val = lane.AndNot(p.val, laneMask)
+			if !lane.None(p.mask) {
+				pins = append(pins, p)
+			}
+		}
+		r.pins = pins
+		remain := r.outMask
+		for _, p := range r.pins {
+			remain = lane.Or(remain, p.mask)
+		}
+		if lane.None(remain) {
+			// Swap-compact the emptied record out of recs, fixing the
+			// moved record's inj back-pointer via its code field.
+			ri := m.inj[ci]
+			last := int32(len(m.recs) - 1)
+			if ri != last {
+				m.recs[ri] = m.recs[last]
+				m.inj[m.recs[ri].code] = ri
+			}
+			m.recs = m.recs[:last]
+			m.inj[ci] = -1
+			continue
+		}
+		r.dirty = 0
+		r.markDirty(remain)
+		kept = append(kept, ci)
+	}
+	m.touched = kept
+	loads := m.loadInj[:0]
+	for _, li := range m.loadInj {
+		li.mask = lane.AndNot(li.mask, laneMask)
+		li.val = lane.AndNot(li.val, laneMask)
+		if !lane.None(li.mask) {
+			loads = append(loads, li)
+		}
+	}
+	m.loadInj = loads
+	clocks := m.clockInj[:0]
+	for _, ci := range m.clockInj {
+		ci.mask = lane.AndNot(ci.mask, laneMask)
+		ci.val = lane.AndNot(ci.val, laneMask)
+		if !lane.None(ci.mask) {
+			clocks = append(clocks, ci)
+		}
+	}
+	m.clockInj = clocks
+	m.faulty = len(m.touched) > 0 || len(m.loadInj) > 0 || len(m.clockInj) > 0
+}
+
 // ClearFaults removes every injected fault, restoring the fault-free fast
 // path. Cost is proportional to the batch size, not the circuit size.
 func (m *Machine[W]) ClearFaults() {
@@ -384,7 +450,7 @@ func (m *Machine[W]) ClearFaults() {
 func (m *Machine[W]) rec(codeIdx int32) *injRec[W] {
 	if m.inj[codeIdx] < 0 {
 		m.inj[codeIdx] = int32(len(m.recs))
-		m.recs = append(m.recs, injRec[W]{})
+		m.recs = append(m.recs, injRec[W]{code: codeIdx})
 		m.touched = append(m.touched, codeIdx)
 	}
 	return &m.recs[m.inj[codeIdx]]

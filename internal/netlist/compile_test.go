@@ -343,6 +343,91 @@ func TestMachineClearFaults(t *testing.T) {
 	}
 }
 
+// TestMachineClearFaultLanes pins the pair-scoped clearing the ATPG pack
+// scheduler re-arms through: clearing one lane subset must fully retire
+// those lanes' injections (they return to the fault-free path) while the
+// other lanes' fault machines evolve untouched, across repeated
+// clear/re-inject cycles on the same machine.
+func TestMachineClearFaultLanes(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		nl := randomNetlist(t, seed+40, 4, 3, 15)
+		prog, err := Compile(nl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev, err := NewEvaluator(nl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := NewMachine[lane.W1](prog)
+		sites := allSites(nl)
+		if len(sites) > 64 {
+			sites = sites[:64]
+		}
+		rng := rand.New(rand.NewSource(seed + 33))
+		for round := 0; round < 3; round++ {
+			for ln, site := range sites {
+				m.InjectFault(site, lane.Bit[lane.W1](ln))
+			}
+			// Clear a round-dependent subset lane by lane (the scheduler
+			// clears one pair at a time).
+			cleared := make([]bool, len(sites))
+			for ln := range sites {
+				if (ln+round)%3 == 0 {
+					m.ClearFaultLanes(lane.Bit[lane.W1](ln))
+					cleared[ln] = true
+				}
+			}
+			m.Reset()
+			stim := make([][]uint64, 4)
+			for c := range stim {
+				stim[c] = make([]uint64, len(nl.PIs))
+				for i := range stim[c] {
+					if rng.Intn(2) == 1 {
+						stim[c][i] = ^uint64(0)
+					}
+				}
+			}
+			got := make([][]lane.W1, len(stim))
+			for cyc, pis := range stim {
+				wide := make([]lane.W1, len(pis))
+				for i, w := range pis {
+					wide[i] = lane.Broadcast[lane.W1](w)
+				}
+				got[cyc] = append([]lane.W1(nil), m.Eval(wide)...)
+				m.Clock()
+			}
+			for ln, site := range sites {
+				ev.Reset()
+				for cyc, pis := range stim {
+					var want []uint64
+					if cleared[ln] {
+						want, err = ev.Eval(pis)
+						if err != nil {
+							t.Fatal(err)
+						}
+						ev.Clock()
+					} else {
+						want = ev.EvalWith(pis, site, ^uint64(0))
+						ev.ClockWith(site, ^uint64(0))
+					}
+					for po := range want {
+						wbit := want[po] & 1
+						gbit := got[cyc][po][0] >> uint(ln) & 1
+						if gbit != wbit {
+							t.Fatalf("seed %d round %d lane %d (cleared=%v) site %+v cyc %d PO %d: lane bit %d, reference %d",
+								seed, round, ln, cleared[ln], site, cyc, po, gbit, wbit)
+						}
+					}
+				}
+			}
+			// Retire everything before the next round re-injects: the
+			// machine must land back on the fault-free fast path.
+			m.ClearFaultLanes(lane.Broadcast[lane.W1](^uint64(0)))
+		}
+	}
+}
+
 // TestMachinePIWordCountPanics pins the documented panic on shape misuse.
 func TestMachinePIWordCountPanics(t *testing.T) {
 	nl := buildMux(t)
